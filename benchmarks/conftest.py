@@ -1,0 +1,56 @@
+"""Shared infrastructure for the figure/table benches.
+
+Each bench regenerates one of the paper's figures or tables: it runs the
+measurement campaign for that artifact (timed via pytest-benchmark), renders
+the series next to the paper's published numbers, writes the rendering to
+``benchmarks/results/``, and asserts shape agreement (orderings via Kendall
+tau, population stats within tolerance).
+
+Expensive campaigns that feed several benches (the TCP-2/TCP-3 transfer
+run feeds Figures 8 and 9) are cached per session: the first bench that
+needs a result times its production; later benches reuse it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_artifact(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    # Also emit to stdout so `pytest -s` shows the regenerated figure.
+    print()
+    print(text)
+
+
+class SurveyCache:
+    """Session-wide cache of measurement campaign results."""
+
+    def __init__(self):
+        self.store = {}
+
+    def get_or_run(self, key: str, producer):
+        if key not in self.store:
+            self.store[key] = producer()
+        return self.store[key]
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return SurveyCache()
+
+
+@pytest.fixture(scope="session")
+def quick_settings():
+    """Campaign parameters for the benches: small repetitions and transfer
+    sizes; the shapes are stable well below paper-scale iteration counts."""
+    return {
+        "udp_repetitions": 3,
+        "udp5_repetitions": 1,
+        "transfer_bytes": 1536 * 1024,
+    }

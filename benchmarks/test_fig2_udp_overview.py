@@ -1,0 +1,46 @@
+"""Figure 2: UDP-1/2/3 medians side by side, ordered by the UDP-1 result.
+
+This bench runs all three UDP timeout campaigns across the 34-device
+population (they are cached for the per-figure benches that follow).
+"""
+
+from bench_common import fresh_testbed, ordering_agreement, series_of
+from conftest import write_artifact
+
+from repro import paperdata
+from repro.analysis import render_series_multi
+from repro.core import UdpTimeoutProbe
+
+
+def _run_all_udp(cache, settings):
+    def produce(variant, maker):
+        return cache.get_or_run(
+            variant,
+            lambda: maker(repetitions=settings["udp_repetitions"]).run_all(fresh_testbed()),
+        )
+
+    return {
+        "UDP-1": produce("udp1", UdpTimeoutProbe.udp1),
+        "UDP-2": produce("udp2", UdpTimeoutProbe.udp2),
+        "UDP-3": produce("udp3", UdpTimeoutProbe.udp3),
+    }
+
+
+def test_fig2_udp_overview(benchmark, cache, quick_settings):
+    results = benchmark.pedantic(
+        _run_all_udp, args=(cache, quick_settings), rounds=1, iterations=1
+    )
+    series = {
+        name: series_of(data, name, "s") for name, data in results.items()
+    }
+    order = series["UDP-1"].ordered_tags()
+    text = render_series_multi(series, "Figure 2: median UDP binding timeouts [s]", order=order)
+    write_artifact("fig2_udp_overview.txt", text)
+
+    # Shape: the UDP-1 ordering is Figure 2's x-axis (same as Figure 3).
+    tau = ordering_agreement(series["UDP-1"], paperdata.FIG3_ORDER)
+    assert tau > 0.95, f"UDP-1 ordering diverged from the paper (tau={tau:.3f})"
+    # §4.1: UDP-2/3 grant longer timeouts than UDP-1 for the short-timeout
+    # devices (ed/owrt/to/te move from 30 s to ~180 s).
+    for tag in ("ed", "owrt", "to", "te"):
+        assert series["UDP-2"].summaries[tag].median > 2 * series["UDP-1"].summaries[tag].median

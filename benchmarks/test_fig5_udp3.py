@@ -1,0 +1,53 @@
+"""Figure 5: UDP-3 — bidirectional traffic on the binding."""
+
+import pytest
+
+from bench_common import fresh_testbed, ordering_agreement, series_of
+from conftest import write_artifact
+
+from repro import paperdata
+from repro.analysis import render_series
+from repro.core import UdpTimeoutProbe
+
+
+def test_fig5_udp3(benchmark, cache, quick_settings):
+    results = benchmark.pedantic(
+        lambda: cache.get_or_run(
+            "udp3",
+            lambda: UdpTimeoutProbe.udp3(
+                repetitions=quick_settings["udp_repetitions"]
+            ).run_all(fresh_testbed()),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = series_of(results, "UDP-3", "s")
+    stats = series.population()
+    text = render_series(series, "Figure 5: UDP-3 bidirectional traffic [s]")
+    text += f"\npaper: median={paperdata.FIG5_POP_MEDIAN} mean={paperdata.FIG5_POP_MEAN}"
+    write_artifact("fig5_udp3.txt", text)
+
+    assert stats["median"] == pytest.approx(paperdata.FIG5_POP_MEDIAN, rel=0.05)
+    assert stats["mean"] == pytest.approx(paperdata.FIG5_POP_MEAN, rel=0.08)
+    assert ordering_agreement(series, paperdata.FIG5_ORDER) > 0.85
+
+
+def test_fig5_lengthening_devices(benchmark, cache, quick_settings):
+    """§4.1: be1, dl10, ng3, ng4, be2, ng5 lengthen their timeouts vs UDP-2;
+    no device shortens."""
+    def produce():
+        udp2 = cache.get_or_run(
+            "udp2",
+            lambda: UdpTimeoutProbe.udp2(repetitions=quick_settings["udp_repetitions"]).run_all(fresh_testbed()),
+        )
+        udp3 = cache.get_or_run(
+            "udp3",
+            lambda: UdpTimeoutProbe.udp3(repetitions=quick_settings["udp_repetitions"]).run_all(fresh_testbed()),
+        )
+        return udp2, udp3
+
+    udp2, udp3 = benchmark.pedantic(produce, rounds=1, iterations=1)
+    for tag in paperdata.UDP3_LENGTHENING_TAGS:
+        assert udp3[tag].summary().median > udp2[tag].summary().median + 10, tag
+    for tag in udp2:
+        assert udp3[tag].summary().median >= udp2[tag].summary().median - 5.0, tag

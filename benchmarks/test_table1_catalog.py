@@ -1,0 +1,29 @@
+"""Table 1: the device inventory."""
+
+from bench_common import fresh_testbed
+from conftest import write_artifact
+
+from repro import paperdata
+from repro.analysis import render_table1
+from repro.devices import catalog_profiles
+
+
+def test_table1_inventory(benchmark):
+    profiles = benchmark.pedantic(catalog_profiles, rounds=1, iterations=1)
+    text = render_table1(profiles)
+    write_artifact("table1_inventory.txt", text)
+    assert len(profiles) == paperdata.DEVICE_COUNT
+    vendors = {p.vendor for p in profiles}
+    assert {"A-Link", "Apple", "Asus", "Belkin", "Buffalo", "D-Link", "Edimax",
+            "Jensen", "Linksys", "Netgear", "Netwjork", "SMC", "Telewell",
+            "Webee", "ZyXel"} == vendors
+
+
+def test_table1_testbed_brings_up_all_34(benchmark):
+    """Figure 1's bring-up across the full population is part of Table 1's
+    reproduction: every device must DHCP both sides successfully."""
+    bed = benchmark.pedantic(fresh_testbed, rounds=1, iterations=1)
+    assert len(bed.tags()) == 34
+    for tag in bed.tags():
+        assert bed.port(tag).gateway.wan_ip is not None
+        assert bed.client_ip(tag) is not None

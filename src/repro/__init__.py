@@ -1,0 +1,31 @@
+"""repro — reproduction of "An Experimental Study of Home Gateway Characteristics".
+
+A packet-level simulated testbed of home gateways (NAT/firewall/DHCP/DNS
+devices) plus the measurement suite of Hätönen et al. (IMC 2010): NAT binding
+timeouts, throughput, queuing delay, binding capacity, ICMP translation,
+SCTP/DCCP passthrough and DNS proxy behaviour, across 34 calibrated device
+models.
+
+Quickstart::
+
+    from repro.testbed import Testbed
+    from repro.devices import CATALOG
+    from repro.core import UdpTimeoutProbe
+
+    bed = Testbed.build(profiles=[CATALOG["je"], CATALOG["ls1"]])
+    result = UdpTimeoutProbe.udp1().measure(bed, "je")
+"""
+
+__version__ = "1.0.0"
+
+from repro.devices import CATALOG, DeviceProfile, catalog_profiles, profile_for
+from repro.testbed import Testbed
+
+__all__ = [
+    "CATALOG",
+    "DeviceProfile",
+    "catalog_profiles",
+    "profile_for",
+    "Testbed",
+    "__version__",
+]

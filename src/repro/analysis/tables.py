@@ -1,0 +1,97 @@
+"""Renderings of the paper's tables.
+
+:func:`render_table1` prints the device inventory; :func:`render_table2`
+rebuilds the bullet matrix of "other tests" from the measured ICMP,
+transport-support and DNS results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.core.dns_tests import DnsProxyResult
+from repro.core.icmp_tests import IcmpTestResult
+from repro.core.transport_support import TransportSupportResult
+from repro.devices.profile import DeviceProfile, ICMP_KINDS
+
+#: Table 2 column order, as printed in the paper.
+TABLE2_COLUMNS = (
+    "dccp_conn",
+    "dns_tcp",
+    "dns_udp",
+    "icmp_host_unreach",
+    "sctp_conn",
+    *[f"tcp_{kind}" for kind in ICMP_KINDS],
+    *[f"udp_{kind}" for kind in ICMP_KINDS],
+)
+
+_SHORT_HEADERS = {
+    "dccp_conn": "DCCP",
+    "dns_tcp": "DnsT",
+    "dns_udp": "DnsU",
+    "icmp_host_unreach": "IcmpHU",
+    "sctp_conn": "SCTP",
+}
+
+
+def render_table1(profiles: Sequence[DeviceProfile]) -> str:
+    """Table 1: vendor, model, firmware, tag."""
+    lines = ["Vendor       Model                    Firmware               Tag", "-" * 68]
+    for profile in sorted(profiles, key=lambda p: (p.vendor.lower(), p.tag)):
+        lines.append(f"{profile.vendor:<12} {profile.model:<24} {profile.firmware:<22} {profile.tag}")
+    return "\n".join(lines)
+
+
+def table2_cells(
+    tag: str,
+    icmp: IcmpTestResult,
+    transports: Mapping[str, TransportSupportResult],
+    dns: DnsProxyResult,
+) -> Dict[str, bool]:
+    """One device's Table-2 row as a column->bool mapping.
+
+    A bullet in an ICMP column means the error was forwarded *as an ICMP
+    message*; ls2's synthesized TCP RSTs do not earn bullets (the paper
+    calls them invalid).
+    """
+    cells: Dict[str, bool] = {
+        "dccp_conn": transports["dccp"].supported,
+        "dns_tcp": dns.answers_tcp,
+        "dns_udp": dns.answers_udp,
+        "icmp_host_unreach": bool(icmp.icmp_host_unreach and icmp.icmp_host_unreach.forwarded),
+        "sctp_conn": transports["sctp"].supported,
+    }
+    for kind in ICMP_KINDS:
+        cells[f"tcp_{kind}"] = bool(icmp.tcp.get(kind) and icmp.tcp[kind].forwarded)
+        cells[f"udp_{kind}"] = bool(icmp.udp.get(kind) and icmp.udp[kind].forwarded)
+    return cells
+
+
+def render_table2(
+    icmp_results: Mapping[str, IcmpTestResult],
+    transport_results: Mapping[str, Mapping[str, TransportSupportResult]],
+    dns_results: Mapping[str, DnsProxyResult],
+) -> str:
+    """The full bullet matrix."""
+    tags = sorted(icmp_results)
+    headers = [_SHORT_HEADERS.get(col, col.replace("_", ".")[:10]) for col in TABLE2_COLUMNS]
+    width = max(len(header) for header in headers)
+    lines = []
+    # Vertical headers would be unreadable in ASCII; use a legend instead.
+    lines.append("columns: " + " ".join(f"{i + 1}={col}" for i, col in enumerate(TABLE2_COLUMNS)))
+    lines.append("")
+    lines.append(f"{'tag':>5}  " + " ".join(f"{i + 1:>3}" for i in range(len(TABLE2_COLUMNS))))
+    for tag in tags:
+        cells = table2_cells(tag, icmp_results[tag], transport_results[tag], dns_results[tag])
+        row = " ".join(f"{'  *' if cells[col] else '  .'}" for col in TABLE2_COLUMNS)
+        lines.append(f"{tag:>5}  {row}")
+    totals = []
+    for col in TABLE2_COLUMNS:
+        count = sum(
+            1
+            for tag in tags
+            if table2_cells(tag, icmp_results[tag], transport_results[tag], dns_results[tag])[col]
+        )
+        totals.append(count)
+    lines.append(f"{'n':>5}  " + " ".join(f"{count:>3}" for count in totals))
+    return "\n".join(lines)

@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-devices`` — the Table 1 inventory.
+* ``probe`` — run one measurement family against selected devices.
+* ``survey`` — run several families, optionally exporting CSV series.
+* ``classify`` — STUN-style classification of selected devices.
+* ``compliance`` — grade devices against RFC 4787 / 5382 / 5508.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import render_series, render_table1, series_to_csv
+from repro.compliance import check_device, population_summary
+from repro.core import (
+    BindingRateProbe,
+    DnsProxyTest,
+    IcmpTranslationTest,
+    OptionsTest,
+    TcpBindingCapacityProbe,
+    TcpTimeoutProbe,
+    ThroughputProbe,
+    TransportSupportTest,
+    UdpTimeoutProbe,
+)
+from repro.core.results import DeviceSeries, Summary
+from repro.devices import CATALOG, catalog_profiles
+from repro.testbed import Testbed
+
+PROBE_CHOICES = (
+    "udp1", "udp2", "udp3", "tcp1", "tcp2", "tcp4",
+    "icmp", "transports", "dns", "options", "binding-rate", "pmtu",
+)
+
+
+def _resolve_tags(tags: Optional[Sequence[str]]) -> List[str]:
+    if not tags:
+        return sorted(CATALOG)
+    unknown = [tag for tag in tags if tag not in CATALOG]
+    if unknown:
+        raise SystemExit(f"unknown device tags: {unknown}; see `repro list-devices`")
+    return list(tags)
+
+
+def _build_bed(tags: Sequence[str], seed: int) -> Testbed:
+    return Testbed.build(catalog_profiles(tags), seed=seed)
+
+
+def _series_from_timeouts(results, name: str, unit: str, cutoff: Optional[float] = None) -> DeviceSeries:
+    series = DeviceSeries(name, unit)
+    for tag, result in results.items():
+        if result.samples:
+            series.add(tag, result.summary())
+        elif cutoff is not None:
+            series.add_censored(tag, cutoff)
+    return series
+
+
+def _run_probe(name: str, tags: Sequence[str], repetitions: int, seed: int, out) -> Optional[DeviceSeries]:
+    bed = _build_bed(tags, seed)
+    if name in ("udp1", "udp2", "udp3"):
+        maker = getattr(UdpTimeoutProbe, name)
+        results = maker(repetitions=repetitions).run_all(bed)
+        series = _series_from_timeouts(results, name, "s")
+        out(render_series(series, f"{name.upper()} binding timeouts [s]"))
+        return series
+    if name == "tcp1":
+        probe = TcpTimeoutProbe()
+        results = probe.run_all(bed)
+        series = probe.series(results)
+        out(render_series(series, "TCP-1 binding timeouts [s]", log_scale=True, censored_label=">24h"))
+        return series
+    if name == "tcp2":
+        results = ThroughputProbe().run_all(bed)
+        probe = ThroughputProbe()
+        series = probe.throughput_series(results, "download")
+        out(render_series(series, "TCP-2 download throughput [Mb/s]"))
+        delay = probe.delay_series(results, "download")
+        out(render_series(delay, "TCP-3 download queuing delay [ms]"))
+        return series
+    if name == "tcp4":
+        probe = TcpBindingCapacityProbe()
+        results = probe.run_all(bed)
+        series = probe.series(results)
+        out(render_series(series, "TCP-4 max bindings", log_scale=True))
+        return series
+    if name == "icmp":
+        results = IcmpTranslationTest().run_all(bed)
+        for tag in sorted(results):
+            result = results[tag]
+            out(
+                f"{tag:>5}  udp:{len(result.forwarded_kinds('udp')):>2}/10  "
+                f"tcp:{len(result.forwarded_kinds('tcp')):>2}/10  "
+                f"embedded-rewrite:{result.translates_embedded_transport()}  "
+                f"ip-cksum:{result.fixes_embedded_ip_checksum()}"
+            )
+        return None
+    if name == "transports":
+        results = TransportSupportTest().run_all(bed)
+        for tag in sorted(results):
+            sctp = results[tag]["sctp"]
+            dccp = results[tag]["dccp"]
+            out(f"{tag:>5}  sctp:{'pass' if sctp.supported else 'fail':<4} ({sctp.wire_view})  "
+                f"dccp:{'pass' if dccp.supported else 'fail'}")
+        return None
+    if name == "dns":
+        results = DnsProxyTest().run_all(bed)
+        for tag in sorted(results):
+            result = results[tag]
+            out(f"{tag:>5}  udp:{result.answers_udp}  accepts-tcp:{result.accepts_tcp}  "
+                f"answers-tcp:{result.answers_tcp}  upstream:{result.upstream_transport_for_tcp}")
+        return None
+    if name == "options":
+        results = OptionsTest().run_all(bed)
+        for tag in sorted(results):
+            result = results[tag]
+            out(f"{tag:>5}  ip-options:{result.ip_options_pass}  "
+                f"record-route:{result.record_route_recorded}  "
+                f"tcp-options:{result.tcp_options_preserved}")
+        return None
+    if name == "binding-rate":
+        probe = BindingRateProbe()
+        results = probe.run_all(bed)
+        series = probe.series(results)
+        out(render_series(series, "Binding setup rate [bindings/s]"))
+        return series
+    if name == "pmtu":
+        from repro.core import PmtuBlackholeTest
+
+        results = PmtuBlackholeTest().run_all(bed)
+        for tag in sorted(results):
+            result = results[tag]
+            verdict = f"ok in {result.duration:.2f}s (mss {result.mss_after})" if result.completed else "BLACK HOLE"
+            out(f"{tag:>5}  {verdict}")
+        return None
+    raise SystemExit(f"unknown probe {name!r}")
+
+
+def cmd_list_devices(args, out) -> int:
+    out(render_table1(catalog_profiles()))
+    return 0
+
+
+def cmd_probe(args, out) -> int:
+    tags = _resolve_tags(args.tags)
+    _run_probe(args.test, tags, args.repetitions, args.seed, out)
+    return 0
+
+
+def cmd_survey(args, out) -> int:
+    tags = _resolve_tags(args.tags)
+    csv_dir = pathlib.Path(args.csv_dir) if args.csv_dir else None
+    if csv_dir:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for name in args.tests:
+        out(f"\n=== {name} ===")
+        series = _run_probe(name, tags, args.repetitions, args.seed, out)
+        if series is not None and csv_dir:
+            (csv_dir / f"{name}.csv").write_text(series_to_csv(series) + "\n")
+            out(f"[wrote {csv_dir / f'{name}.csv'}]")
+    return 0
+
+
+def cmd_classify(args, out) -> int:
+    from repro.core.runtime import SimTask, run_tasks
+    from repro.traversal import StunClient, StunServer, classify
+
+    tags = _resolve_tags(args.tags)
+    bed = _build_bed(tags, args.seed)
+    server = StunServer(bed.server)
+    for tag in tags:
+        port = bed.port(tag)
+        client = StunClient(bed.client, iface_index=port.client_iface_index)
+        task = SimTask(bed.sim, classify(client, port.server_ip), name=f"stun:{tag}")
+        run_tasks(bed.sim, [task])
+        client.close()
+        verdict = task.result
+        out(f"{tag:>5}  {verdict.rfc3489_type:<22} port-preserved:{verdict.preserves_port}")
+    server.close()
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    from repro.analysis import render_report
+    from repro.core import SurveyRunner
+    from repro.devices import catalog_profiles as _profiles
+
+    tags = _resolve_tags(args.tags)
+    runner = SurveyRunner(
+        profiles=_profiles(tags),
+        seed=args.seed,
+        udp_repetitions=args.repetitions,
+        udp5_repetitions=1,
+    )
+    results = runner.run(tests=args.tests)
+    report = render_report(results, title=f"Home gateway survey ({len(tags)} devices)")
+    if args.output:
+        pathlib.Path(args.output).write_text(report)
+        out(f"wrote {args.output}")
+    else:
+        out(report)
+    return 0
+
+
+def cmd_compliance(args, out) -> int:
+    tags = _resolve_tags(args.tags)
+    udp1 = UdpTimeoutProbe.udp1(repetitions=args.repetitions).run_all(_build_bed(tags, args.seed))
+    tcp1 = TcpTimeoutProbe().run_all(_build_bed(tags, args.seed))
+    icmp = IcmpTranslationTest().run_all(_build_bed(tags, args.seed))
+    reports = {tag: check_device(tag, udp1=udp1[tag], tcp1=tcp1[tag], icmp=icmp[tag]) for tag in tags}
+    for tag in tags:
+        report = reports[tag]
+        failures = report.failures()
+        status = "PASS" if not failures else f"FAIL ({len(failures)})"
+        out(f"{tag:>5}  {status}")
+        for failure in failures:
+            out(f"        {failure}")
+    summary = population_summary(reports)
+    out("")
+    out(f"below RFC4787 120s: {summary['udp_below_required']:.0%}   "
+        f"below RFC5382 124min: {summary['tcp_below_minimum']:.0%}   "
+        f"RFC5508 compliant: {summary['icmp_compliant']:.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Home-gateway characteristics laboratory (IMC 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-devices", help="print the Table 1 inventory").set_defaults(func=cmd_list_devices)
+
+    probe = sub.add_parser("probe", help="run one measurement family")
+    probe.add_argument("--test", required=True, choices=PROBE_CHOICES)
+    probe.add_argument("--tags", nargs="*", help="device tags (default: all 34)")
+    probe.add_argument("--repetitions", type=int, default=3)
+    probe.add_argument("--seed", type=int, default=0)
+    probe.set_defaults(func=cmd_probe)
+
+    survey = sub.add_parser("survey", help="run several families")
+    survey.add_argument("--tests", nargs="+", default=["udp1", "tcp1", "tcp4"], choices=PROBE_CHOICES)
+    survey.add_argument("--tags", nargs="*")
+    survey.add_argument("--repetitions", type=int, default=3)
+    survey.add_argument("--seed", type=int, default=0)
+    survey.add_argument("--csv-dir", help="export each series as CSV here")
+    survey.set_defaults(func=cmd_survey)
+
+    stun = sub.add_parser("classify", help="STUN-style classification")
+    stun.add_argument("--tags", nargs="*")
+    stun.add_argument("--seed", type=int, default=0)
+    stun.set_defaults(func=cmd_classify)
+
+    report = sub.add_parser("report", help="full markdown survey report")
+    report.add_argument("--tests", nargs="+", default=["udp1", "udp2", "udp3", "tcp1", "tcp4"],
+                        choices=("udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns"))
+    report.add_argument("--tags", nargs="*")
+    report.add_argument("--repetitions", type=int, default=3)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--output", help="write the markdown here instead of stdout")
+    report.set_defaults(func=cmd_report)
+
+    comp = sub.add_parser("compliance", help="grade against the IETF BCPs")
+    comp.add_argument("--tags", nargs="*")
+    comp.add_argument("--repetitions", type=int, default=1)
+    comp.add_argument("--seed", type=int, default=0)
+    comp.set_defaults(func=cmd_compliance)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args, print)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""The paper's modified binary search over binding lifetimes (§3.2.1).
+
+Plain binary search assumes a fixed threshold; NAT binding expiry is a
+threshold *plus* device timer quantization, and every probe perturbs the
+binding.  The paper's modification keeps each iteration *identical to the
+first*: every probe creates a fresh binding, and the search tracks the
+longest sleep that survived (``lo``) and the shortest that expired (``hi``),
+always probing their midpoint until they are within ``precision`` (1 s).
+
+:class:`BindingSearch` is the shared controller; the UDP and TCP tests
+supply the probe as a coroutine (see :mod:`repro.core.runtime`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one complete search."""
+
+    #: Best estimate of the binding timeout ((lo+hi)/2 at convergence).
+    estimate: Optional[float]
+    #: True when the binding outlived the cutoff and the search gave up.
+    censored: bool
+    lo: float = 0.0
+    hi: float = 0.0
+    probes: int = 0
+    history: List[tuple] = field(default_factory=list)
+
+
+class BindingSearch:
+    """Modified binary search driver.
+
+    ``probe`` is a callable returning a generator (a measurement coroutine)
+    that yields runtime primitives and finally *returns* True when the
+    binding survived the given sleep.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[float], Generator],
+        cutoff: float,
+        precision: float = 1.0,
+        max_probes: int = 64,
+    ):
+        if cutoff <= 0:
+            raise ValueError(f"cutoff must be positive, got {cutoff}")
+        if precision <= 0:
+            raise ValueError(f"precision must be positive, got {precision}")
+        self.probe = probe
+        self.cutoff = cutoff
+        self.precision = precision
+        self.max_probes = max_probes
+
+    def run(self) -> Generator:
+        """The search coroutine; returns a :class:`SearchOutcome`."""
+        outcome = SearchOutcome(estimate=None, censored=False)
+        # First probe at the cutoff decides censoring outright.
+        alive_at_cutoff = yield from self.probe(self.cutoff)
+        outcome.probes += 1
+        outcome.history.append((self.cutoff, alive_at_cutoff))
+        if alive_at_cutoff:
+            outcome.censored = True
+            outcome.lo = self.cutoff
+            outcome.hi = self.cutoff
+            return outcome
+        lo, hi = 0.0, self.cutoff
+        while hi - lo > self.precision and outcome.probes < self.max_probes:
+            mid = (lo + hi) / 2.0
+            alive = yield from self.probe(mid)
+            outcome.probes += 1
+            outcome.history.append((mid, alive))
+            if alive:
+                lo = mid  # longest observed binding lifetime
+            else:
+                hi = mid  # shortest observed binding expiration
+        outcome.lo = lo
+        outcome.hi = hi
+        outcome.estimate = (lo + hi) / 2.0
+        return outcome
+
+
+class ParallelBindingSearch:
+    """Round-parallel variant used for the (long) TCP timeouts.
+
+    Each round probes ``fanout`` sleep values spread across the open
+    interval concurrently — the paper's "the binary search technique
+    therefore uses multiple parallel connections" (§3.2.2).  The caller
+    provides a ``spawn`` function that starts one probe and returns a
+    :class:`~repro.core.runtime.Future` resolving to True/False.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[float], "object"],
+        cutoff: float,
+        precision: float = 1.0,
+        fanout: int = 8,
+        max_rounds: int = 16,
+    ):
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        self.spawn = spawn
+        self.cutoff = cutoff
+        self.precision = precision
+        self.fanout = fanout
+        self.max_rounds = max_rounds
+
+    def run(self) -> Generator:
+        outcome = SearchOutcome(estimate=None, censored=False)
+        lo, hi = 0.0, self.cutoff
+        cutoff_future = self.spawn(self.cutoff)
+        alive_at_cutoff = yield cutoff_future
+        outcome.probes += 1
+        outcome.history.append((self.cutoff, bool(alive_at_cutoff)))
+        if alive_at_cutoff:
+            outcome.censored = True
+            outcome.lo = outcome.hi = self.cutoff
+            return outcome
+        rounds = 0
+        while hi - lo > self.precision and rounds < self.max_rounds:
+            rounds += 1
+            step = (hi - lo) / (self.fanout + 1)
+            sleeps = [lo + step * (i + 1) for i in range(self.fanout)]
+            futures = [self.spawn(sleep) for sleep in sleeps]
+            results = []
+            for future in futures:
+                value = yield future
+                results.append(bool(value))
+            outcome.probes += len(sleeps)
+            for sleep, alive in zip(sleeps, results):
+                outcome.history.append((sleep, alive))
+                if alive:
+                    lo = max(lo, sleep)
+            expired = [sleep for sleep, alive in zip(sleeps, results) if not alive and sleep > lo]
+            if expired:
+                hi = min(hi, min(expired))
+        outcome.lo = lo
+        outcome.hi = hi
+        outcome.estimate = (lo + hi) / 2.0
+        return outcome

@@ -1,0 +1,112 @@
+"""Measurement coroutines over simulated time.
+
+Measurement procedures are long sequential protocols ("send a packet, sleep
+T seconds, ask the server to respond, wait up to 2 s for the response…").
+Writing them as callback chains would bury the methodology, so this module
+provides a minimal cooperative runtime: a measurement is a *generator* that
+yields either
+
+* a ``float`` — sleep that many simulated seconds, or
+* a :class:`Future` — suspend until someone calls ``set_result`` (or the
+  future's timeout fires, resuming with ``None``).
+
+:class:`SimTask` drives one generator; many tasks interleave freely in one
+simulation, which is how the suite measures all gateways in parallel
+(§3.1: "a given measurement is run in parallel across all home gateways").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.netsim.sim import Simulation
+
+
+class Future:
+    """A one-shot result container a task can wait on."""
+
+    __slots__ = ("value", "done", "_task", "_timeout")
+
+    def __init__(self, timeout: Optional[float] = None):
+        self.value: Any = None
+        self.done = False
+        self._task: Optional["SimTask"] = None
+        self._timeout = timeout
+
+    def set_result(self, value: Any) -> None:
+        """Complete the future; wakes the waiting task (idempotent)."""
+        if self.done:
+            return
+        self.done = True
+        self.value = value
+        if self._task is not None:
+            task, self._task = self._task, None
+            task._resume(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Future done={self.done} value={self.value!r}>"
+
+
+class SimTask:
+    """Drives one measurement generator over the simulation."""
+
+    def __init__(self, sim: Simulation, generator: Generator, name: str = "task"):
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._start()
+
+    def _start(self) -> None:
+        self.sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        except BaseException as exc:  # surface in run_tasks, don't kill the sim
+            self.finished = True
+            self.error = exc
+            return
+        if isinstance(yielded, Future):
+            self._await_future(yielded)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(f"task {self.name} yielded negative sleep {yielded}")
+            self.sim.schedule(float(yielded), self._resume, None)
+        else:
+            raise TypeError(f"task {self.name} yielded {type(yielded).__name__}; expected float or Future")
+
+    def _await_future(self, future: Future) -> None:
+        if future.done:
+            self.sim.schedule(0.0, self._resume, future.value)
+            return
+        future._task = self
+        if future._timeout is not None:
+            self.sim.schedule(future._timeout, future.set_result, None)
+
+
+def run_tasks(sim: Simulation, tasks: List[SimTask], max_events: Optional[int] = None) -> None:
+    """Run the simulation until every task in ``tasks`` finished.
+
+    Raises the first task error encountered (measurement bugs should be loud,
+    not silently missing data points).
+    """
+    processed = 0
+    while not all(task.finished for task in tasks):
+        if not sim.step():
+            unfinished = [task.name for task in tasks if not task.finished]
+            raise RuntimeError(f"simulation ran dry with tasks pending: {unfinished}")
+        processed += 1
+        if max_events is not None and processed > max_events:
+            raise RuntimeError(f"run_tasks exceeded {max_events} events")
+    for task in tasks:
+        if task.error is not None:
+            raise task.error

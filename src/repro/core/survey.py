@@ -1,0 +1,108 @@
+"""Run the paper's entire measurement campaign in one call.
+
+:class:`SurveyRunner` executes every experiment family against the device
+population, each on a fresh testbed instance (deterministic isolation —
+residual NAT state from one test family can never contaminate another),
+with the paper's parallel/serial discipline per test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dns_tests import DnsProxyResult, DnsProxyTest
+from repro.core.icmp_tests import IcmpTestResult, IcmpTranslationTest
+from repro.core.tcp_binding import (
+    TcpBindingCapacityProbe,
+    TcpBindingCapacityResult,
+    TcpTimeoutProbe,
+    TcpTimeoutResult,
+)
+from repro.core.throughput import ThroughputProbe, ThroughputResult
+from repro.core.transport_support import TransportSupportResult, TransportSupportTest
+from repro.core.udp_timeouts import (
+    PortBehavior,
+    UdpServiceProbe,
+    UdpTimeoutProbe,
+    UdpTimeoutResult,
+    analyze_port_behavior,
+)
+from repro.devices import catalog_profiles
+from repro.devices.profile import DeviceProfile
+from repro.testbed.testbed import Testbed
+
+
+@dataclass
+class SurveyResults:
+    """Everything the campaign produced, keyed the way the paper reports it."""
+
+    udp1: Dict[str, UdpTimeoutResult] = field(default_factory=dict)
+    udp2: Dict[str, UdpTimeoutResult] = field(default_factory=dict)
+    udp3: Dict[str, UdpTimeoutResult] = field(default_factory=dict)
+    udp4: Dict[str, PortBehavior] = field(default_factory=dict)
+    udp5: Dict[str, Dict[str, UdpTimeoutResult]] = field(default_factory=dict)
+    tcp1: Dict[str, TcpTimeoutResult] = field(default_factory=dict)
+    tcp2: Dict[str, ThroughputResult] = field(default_factory=dict)
+    tcp4: Dict[str, TcpBindingCapacityResult] = field(default_factory=dict)
+    icmp: Dict[str, IcmpTestResult] = field(default_factory=dict)
+    transports: Dict[str, Dict[str, TransportSupportResult]] = field(default_factory=dict)
+    dns: Dict[str, DnsProxyResult] = field(default_factory=dict)
+
+
+class SurveyRunner:
+    """Configurable full-campaign driver."""
+
+    #: Every experiment family the runner knows, in execution order.
+    ALL_TESTS = ("udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns")
+
+    def __init__(
+        self,
+        profiles: Optional[Sequence[DeviceProfile]] = None,
+        seed: int = 0,
+        udp_repetitions: int = 3,
+        udp5_repetitions: int = 1,
+        tcp1_cutoff: float = 24 * 3600.0,
+        transfer_bytes: int = 2 * 1024 * 1024,
+    ):
+        self.profiles = list(profiles if profiles is not None else catalog_profiles())
+        self.seed = seed
+        self.udp_repetitions = udp_repetitions
+        self.udp5_repetitions = udp5_repetitions
+        self.tcp1_cutoff = tcp1_cutoff
+        self.transfer_bytes = transfer_bytes
+
+    def _fresh_testbed(self) -> Testbed:
+        return Testbed.build(self.profiles, seed=self.seed)
+
+    def run(self, tests: Optional[Sequence[str]] = None) -> SurveyResults:
+        """Run the selected experiment families (all by default)."""
+        selected = list(tests if tests is not None else self.ALL_TESTS)
+        unknown = set(selected) - set(self.ALL_TESTS)
+        if unknown:
+            raise ValueError(f"unknown tests: {sorted(unknown)}")
+        results = SurveyResults()
+        if "udp1" in selected:
+            results.udp1 = UdpTimeoutProbe.udp1(repetitions=self.udp_repetitions).run_all(self._fresh_testbed())
+            results.udp4 = {
+                tag: analyze_port_behavior(result) for tag, result in results.udp1.items()
+            }
+        if "udp2" in selected:
+            results.udp2 = UdpTimeoutProbe.udp2(repetitions=self.udp_repetitions).run_all(self._fresh_testbed())
+        if "udp3" in selected:
+            results.udp3 = UdpTimeoutProbe.udp3(repetitions=self.udp_repetitions).run_all(self._fresh_testbed())
+        if "udp5" in selected:
+            results.udp5 = UdpServiceProbe(repetitions=self.udp5_repetitions).run_all(self._fresh_testbed())
+        if "tcp1" in selected:
+            results.tcp1 = TcpTimeoutProbe(cutoff=self.tcp1_cutoff).run_all(self._fresh_testbed())
+        if "tcp2" in selected:
+            results.tcp2 = ThroughputProbe(transfer_bytes=self.transfer_bytes).run_all(self._fresh_testbed())
+        if "tcp4" in selected:
+            results.tcp4 = TcpBindingCapacityProbe().run_all(self._fresh_testbed())
+        if "icmp" in selected:
+            results.icmp = IcmpTranslationTest().run_all(self._fresh_testbed())
+        if "transports" in selected:
+            results.transports = TransportSupportTest().run_all(self._fresh_testbed())
+        if "dns" in selected:
+            results.dns = DnsProxyTest().run_all(self._fresh_testbed())
+        return results

@@ -1,0 +1,233 @@
+"""TCP binding tests: TCP-1 (idle timeout) and TCP-4 (binding capacity).
+
+TCP-1 opens a connection, leaves it idle (no keepalives, per §3.2.2), then
+has the server push a message after a sleep; whether the message arrives
+tells whether the NAT still holds the binding.  Because TCP timeouts reach
+24 hours, the search probes several sleep values with parallel connections
+per round (:class:`~repro.core.binary_search.ParallelBindingSearch`).
+
+TCP-4 opens connections to one server port until a new one fails, passing a
+message over every open connection periodically so that bindings never idle
+out; the count at first failure is the device's binding capacity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.core.binary_search import ParallelBindingSearch, SearchOutcome
+from repro.core.results import DeviceSeries, Summary
+from repro.core.runtime import Future, SimTask, run_tasks
+from repro.testbed.testbed import Testbed
+from repro.testbed.testrund import ManagementChannel, Testrund
+
+TCP1_SERVER_PORT = 34600
+TCP4_SERVER_PORT = 34601
+DEFAULT_TCP_CUTOFF = 24 * 3600.0  # the paper's 24-hour cutoff
+ESTABLISH_TIMEOUT = 15.0
+RESPONSE_GRACE = 5.0
+
+_nonce_counter = itertools.count(1)
+
+
+@dataclass
+class TcpTimeoutResult:
+    """TCP-1 result for one device."""
+
+    tag: str
+    samples: List[float] = field(default_factory=list)
+    censored: int = 0
+    cutoff: float = DEFAULT_TCP_CUTOFF
+
+    def summary(self) -> Summary:
+        return Summary.of(self.samples)
+
+
+@dataclass
+class TcpBindingCapacityResult:
+    """TCP-4 result for one device."""
+
+    tag: str
+    max_bindings: int
+    hit_probe_limit: bool = False
+
+
+class _Tcp1Server:
+    """Server side of TCP-1: accepts connections keyed by a nonce."""
+
+    def __init__(self, bed: Testbed, port: int):
+        self.bed = bed
+        self.connections: Dict[int, object] = {}
+        self.listener = bed.server.tcp.listen(port, on_accept=self._on_accept)
+
+    def _on_accept(self, conn) -> None:
+        state = {"buffer": b""}
+
+        def on_data(data: bytes) -> None:
+            state["buffer"] += data
+            if len(state["buffer"]) >= 8:
+                nonce = int.from_bytes(state["buffer"][:8], "big")
+                self.connections[nonce] = conn
+                conn.on_data = None
+
+        conn.on_data = on_data
+
+    def respond(self, nonce: int) -> None:
+        """Push one message over the (idle) connection."""
+        conn = self.connections.get(nonce)
+        if conn is not None and conn.state in ("ESTABLISHED", "CLOSE_WAIT"):
+            conn.send(b"wakeup!!")
+
+    def abort(self, nonce: int) -> None:
+        conn = self.connections.pop(nonce, None)
+        if conn is not None and conn.state != "CLOSED":
+            conn.abort()
+
+
+class TcpTimeoutProbe:
+    """TCP-1 across the population."""
+
+    def __init__(
+        self,
+        cutoff: float = DEFAULT_TCP_CUTOFF,
+        repetitions: int = 1,
+        fanout: int = 8,
+        precision: float = 1.0,
+        server_port: int = TCP1_SERVER_PORT,
+    ):
+        self.cutoff = cutoff
+        self.repetitions = repetitions
+        self.fanout = fanout
+        self.precision = precision
+        self.server_port = server_port
+
+    def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, TcpTimeoutResult]:
+        tags = list(tags if tags is not None else bed.tags())
+        channel = ManagementChannel(bed.sim)
+        daemon = Testrund("server", channel)
+        server = _Tcp1Server(bed, self.server_port)
+        daemon.register("respond", server.respond)
+        daemon.register("abort", server.abort)
+        results = {tag: TcpTimeoutResult(tag, cutoff=self.cutoff) for tag in tags}
+        tasks = [
+            SimTask(bed.sim, self._device_task(bed, tag, daemon, results[tag]), name=f"tcp1:{tag}")
+            for tag in tags
+        ]
+        run_tasks(bed.sim, tasks)
+        return results
+
+    def series(self, results: Dict[str, TcpTimeoutResult]) -> DeviceSeries:
+        series = DeviceSeries("tcp1", "seconds")
+        for tag, result in results.items():
+            if result.samples:
+                series.add(tag, result.summary())
+            else:
+                series.add_censored(tag, result.cutoff)
+        return series
+
+    def _device_task(self, bed: Testbed, tag: str, daemon: Testrund, result: TcpTimeoutResult) -> Generator:
+        port = bed.port(tag)
+
+        def spawn(sleep: float) -> Future:
+            future = Future()
+            SimTask(bed.sim, self._probe(bed, tag, daemon, sleep, future), name=f"tcp1:{tag}:{sleep:.0f}")
+            return future
+
+        for _repetition in range(self.repetitions):
+            search = ParallelBindingSearch(
+                spawn, cutoff=self.cutoff, precision=self.precision, fanout=self.fanout
+            )
+            outcome: SearchOutcome = yield from search.run()
+            if outcome.censored:
+                result.censored += 1
+            elif outcome.estimate is not None:
+                result.samples.append(outcome.estimate)
+
+    def _probe(self, bed: Testbed, tag: str, daemon: Testrund, sleep: float, verdict: Future) -> Generator:
+        """One TCP-1 probe: connect, identify, idle, poke, observe."""
+        port = bed.port(tag)
+        nonce = next(_nonce_counter)
+        established = Future(timeout=ESTABLISH_TIMEOUT)
+        conn = bed.client.tcp.connect(port.server_ip, self.server_port, iface_index=port.client_iface_index)
+        conn.on_established = established.set_result
+        ok = yield established
+        if not ok:
+            conn.abort()
+            verdict.set_result(False)
+            return
+        # Identify this connection to the server, then go idle.
+        conn.send(nonce.to_bytes(8, "big"))
+        yield 0.5  # let the nonce (and its ACK) clear the pipe
+        yield sleep
+        data_arrived = Future(timeout=RESPONSE_GRACE)
+        conn.on_data = lambda _data: data_arrived.set_result(True)
+        daemon.invoke("respond", nonce)
+        got = yield data_arrived
+        daemon.invoke("abort", nonce)
+        conn.abort()
+        verdict.set_result(bool(got))
+
+
+class TcpBindingCapacityProbe:
+    """TCP-4 across the population."""
+
+    def __init__(
+        self,
+        probe_limit: int = 1100,
+        refresh_interval: float = 60.0,
+        fail_timeout: float = 10.0,
+        server_port: int = TCP4_SERVER_PORT,
+    ):
+        self.probe_limit = probe_limit
+        self.refresh_interval = refresh_interval
+        self.fail_timeout = fail_timeout
+        self.server_port = server_port
+
+    def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, TcpBindingCapacityResult]:
+        tags = list(tags if tags is not None else bed.tags())
+        bed.server.tcp.listen(self.server_port)  # sink: accept everything
+        results: Dict[str, TcpBindingCapacityResult] = {}
+        tasks = [
+            SimTask(bed.sim, self._device_task(bed, tag, results), name=f"tcp4:{tag}")
+            for tag in tags
+        ]
+        run_tasks(bed.sim, tasks)
+        return results
+
+    def series(self, results: Dict[str, TcpBindingCapacityResult]) -> DeviceSeries:
+        series = DeviceSeries("tcp4", "bindings")
+        for tag, result in results.items():
+            series.add(tag, Summary.of([float(result.max_bindings)]))
+        return series
+
+    def _device_task(self, bed: Testbed, tag: str, results: Dict[str, TcpBindingCapacityResult]) -> Generator:
+        port = bed.port(tag)
+        open_conns: List[object] = []
+        last_refresh = bed.sim.now
+        hit_limit = False
+        while True:
+            established = Future(timeout=self.fail_timeout)
+            conn = bed.client.tcp.connect(
+                port.server_ip, self.server_port, iface_index=port.client_iface_index
+            )
+            conn.max_syn_retries = 2
+            conn.on_established = established.set_result
+            ok = yield established
+            if not ok:
+                conn.abort()
+                break
+            open_conns.append(conn)
+            if len(open_conns) >= self.probe_limit:
+                hit_limit = True
+                break
+            # Keep existing bindings warm, as §3.2.2 prescribes.
+            if bed.sim.now - last_refresh >= self.refresh_interval:
+                last_refresh = bed.sim.now
+                for existing in open_conns:
+                    if existing.state == "ESTABLISHED":
+                        existing.send(b"k")
+        results[tag] = TcpBindingCapacityResult(tag, len(open_conns), hit_probe_limit=hit_limit)
+        for conn in open_conns:
+            conn.abort()

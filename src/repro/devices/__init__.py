@@ -1,0 +1,46 @@
+"""Device profiles: the policy schema and the 34 calibrated gateways.
+
+``CATALOG`` maps each Table-1 tag (``je``, ``ls1``, …) to a
+:class:`DeviceProfile` calibrated so that the measurement suite rediscovers
+the behaviour the paper reported for the physical device.
+"""
+
+from repro.devices.profile import (
+    DeviceProfile,
+    DnsProxyPolicy,
+    FallbackBehavior,
+    FilteringBehavior,
+    ForwardingPolicy,
+    IcmpAction,
+    IcmpPolicy,
+    ICMP_KINDS,
+    MappingBehavior,
+    NatPolicy,
+    PortAllocation,
+    QuirkPolicy,
+    TcpTimeoutPolicy,
+    UdpTimeoutPolicy,
+    icmp_actions,
+)
+from repro.devices.catalog import CATALOG, catalog_profiles, profile_for
+
+__all__ = [
+    "DeviceProfile",
+    "DnsProxyPolicy",
+    "FallbackBehavior",
+    "FilteringBehavior",
+    "ForwardingPolicy",
+    "IcmpAction",
+    "IcmpPolicy",
+    "ICMP_KINDS",
+    "MappingBehavior",
+    "NatPolicy",
+    "PortAllocation",
+    "QuirkPolicy",
+    "TcpTimeoutPolicy",
+    "UdpTimeoutPolicy",
+    "icmp_actions",
+    "CATALOG",
+    "catalog_profiles",
+    "profile_for",
+]

@@ -1,0 +1,278 @@
+"""Device behaviour profiles.
+
+A :class:`DeviceProfile` is the complete policy description of one home
+gateway model: how its NAT allocates ports and times out bindings, how fast
+it forwards, how big its buffers are, which ICMP messages it translates, how
+it treats unknown transport protocols, and what its DNS proxy supports.
+
+Profiles carry *policy*, never results: the measurement suite discovers the
+resulting behaviour by probing a simulated gateway built from the profile,
+the same way the paper probed the physical devices.  The 34 calibrated
+profiles of Table 1 live in :mod:`repro.devices.catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Optional
+
+
+class PortAllocation(Enum):
+    """How external ports are chosen when the preferred one is unavailable."""
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+class MappingBehavior(Enum):
+    """RFC 4787 mapping behaviours (STUN terminology: cone vs. symmetric)."""
+
+    ENDPOINT_INDEPENDENT = "endpoint_independent"
+    ADDRESS_DEPENDENT = "address_dependent"
+    ADDRESS_AND_PORT_DEPENDENT = "address_and_port_dependent"
+
+
+class FilteringBehavior(Enum):
+    """RFC 4787 filtering behaviours for inbound traffic on a binding."""
+
+    ENDPOINT_INDEPENDENT = "endpoint_independent"
+    ADDRESS_DEPENDENT = "address_dependent"
+    ADDRESS_AND_PORT_DEPENDENT = "address_and_port_dependent"
+
+
+class FallbackBehavior(Enum):
+    """What the gateway does with transport protocols it does not know.
+
+    §4.4 of the paper found all three in the wild: most devices drop
+    SCTP/DCCP, twenty "simply translate the IP source address", and four
+    (dl4, dl9, dl10, ls1) pass the packets entirely untranslated.
+    """
+
+    DROP = "drop"
+    IP_ONLY = "ip_only"
+    PASSTHROUGH = "passthrough"
+
+
+@dataclass
+class UdpTimeoutPolicy:
+    """UDP binding lifetime rules.
+
+    The paper's UDP-1/2/3 tests showed the effective timeout depends on the
+    *traffic pattern* a binding has seen, so the policy is a small state
+    machine: a binding starts in the outbound-only state, moves to
+    ``after_inbound`` when the first reply arrives, and to ``bidirectional``
+    when the internal host keeps talking after replies (UDP-3's pattern).
+    """
+
+    outbound_only: float
+    after_inbound: float
+    bidirectional: float
+    #: Does traffic in each direction restart the idle timer?
+    inbound_refreshes: bool = True
+    outbound_refreshes: bool = True
+    #: Per-destination-port overrides (UDP-5; e.g. dl8 shortens DNS).
+    per_port: Dict[int, float] = field(default_factory=dict)
+    #: Binding timers tick on a coarse wheel of this many seconds; 0 means
+    #: exact timers.  Coarse wheels are what widens the IQR for we/al/je/ng5.
+    timer_granularity: float = 0.0
+
+    def timeout_for(self, state: str, remote_port: int) -> float:
+        """Idle timeout for a binding in ``state`` talking to ``remote_port``."""
+        base = {
+            "outbound_only": self.outbound_only,
+            "after_inbound": self.after_inbound,
+            "bidirectional": self.bidirectional,
+        }[state]
+        override = self.per_port.get(remote_port)
+        if override is None:
+            return base
+        # An override rescales all three states proportionally, anchored on
+        # the outbound-only figure (how dl8's DNS shortcut behaves).
+        return base * (override / self.outbound_only)
+
+
+@dataclass
+class TcpTimeoutPolicy:
+    """TCP binding lifetime rules."""
+
+    #: Idle timeout of an ESTABLISHED binding, seconds.  ``None`` = the
+    #: device never times out established bindings (the paper's ">24 h" set).
+    established: Optional[float]
+    #: Timeout for half-open (SYN seen) and closing (FIN seen) bindings.
+    transitory: float = 240.0
+    #: Remove the binding as soon as an RST is seen.
+    rst_clears: bool = True
+    #: Remove the binding shortly after both FINs are seen.
+    fin_clears: bool = True
+    timer_granularity: float = 0.0
+
+
+@dataclass
+class NatPolicy:
+    """Port allocation and session-table rules."""
+
+    #: Prefer the internal source port as the external port (UDP-4: 27/34 do).
+    port_preservation: bool = True
+    #: Re-use the same external port when the same 5-tuple rebinds shortly
+    #: after its old binding expired (UDP-4: 23 devices do, 4 re-allocate).
+    reuse_expired_binding: bool = True
+    #: Hold-down window within which ``reuse_expired_binding`` applies.
+    reuse_holddown: float = 120.0
+    port_allocation: PortAllocation = PortAllocation.SEQUENTIAL
+    first_external_port: int = 1024
+    mapping: MappingBehavior = MappingBehavior.ENDPOINT_INDEPENDENT
+    filtering: FilteringBehavior = FilteringBehavior.ADDRESS_DEPENDENT
+    #: Concurrent TCP bindings the session table holds (TCP-4: 16..1024).
+    max_tcp_bindings: int = 1024
+    #: Concurrent UDP bindings (not exercised by the paper; finite anyway).
+    max_udp_bindings: int = 4096
+    hairpinning: bool = False
+    #: New bindings per second the session-table CPU can set up; None =
+    #: unbounded.  §5 lists "the rate at which NATs are capable of creating
+    #: new bindings" as planned future work — this knob plus
+    #: :class:`repro.core.binding_rate.BindingRateProbe` implement it.
+    max_binding_rate: Optional[float] = None
+
+
+@dataclass
+class ForwardingPolicy:
+    """Forwarding-plane capacity: rates, buffers and processing delay.
+
+    The TCP-2 throughputs and TCP-3 queuing delays *emerge* from these:
+    a token-bucket pair enforces per-direction rates, an optional shared
+    bucket models the single CPU that collapses bidirectional throughput on
+    weak devices, and the finite buffer is the over-dimensioned transmit
+    queue the paper blames for the delay results.
+    """
+
+    up_rate_bps: float = 100e6
+    down_rate_bps: float = 100e6
+    #: Shared-CPU ceiling for up+down together; None = directions independent.
+    combined_rate_bps: Optional[float] = None
+    buffer_bytes: int = 256 * 1024
+    #: Fixed per-packet processing latency, seconds.
+    base_delay: float = 0.0005
+    #: Forwarding-CPU packet rate cap (packets/second, both directions
+    #: combined); None = byte-rate limited only.  Consumer devices of the
+    #: era were frequently pps-bound, which is why bidirectional load (data
+    #: *plus* the reverse direction's ACK stream) collapses some of them.
+    pps_limit: Optional[float] = None
+    #: True = both directions share ONE FIFO through the forwarding CPU, so
+    #: bidirectional load head-of-line blocks across directions (the sharp
+    #: bidirectional delay growth of the paper's weakest devices, ls1/dl10).
+    #: False = per-direction queues that only contend for the shared rate.
+    shared_queue: bool = False
+
+
+class IcmpAction(Enum):
+    """Per-message-kind ICMP handling."""
+
+    TRANSLATE = "translate"
+    DROP = "drop"
+    #: ls2's quirk: turn TCP-related errors into (invalid) TCP RSTs.
+    TO_TCP_RST = "to_tcp_rst"
+
+
+#: Canonical order of the ICMP error kinds graded in Table 2.
+ICMP_KINDS = (
+    "reass_time_exceeded",
+    "frag_needed",
+    "param_problem",
+    "src_route_failed",
+    "source_quench",
+    "ttl_exceeded",
+    "host_unreach",
+    "net_unreach",
+    "port_unreach",
+    "proto_unreach",
+)
+
+
+def icmp_actions(translate_kinds: Optional[set] = None, default: IcmpAction = IcmpAction.DROP) -> Dict[str, IcmpAction]:
+    """Build a per-kind action map translating ``translate_kinds`` only."""
+    translate_kinds = translate_kinds if translate_kinds is not None else set(ICMP_KINDS)
+    unknown = translate_kinds - set(ICMP_KINDS)
+    if unknown:
+        raise ValueError(f"unknown ICMP kinds: {sorted(unknown)}")
+    return {kind: (IcmpAction.TRANSLATE if kind in translate_kinds else default) for kind in ICMP_KINDS}
+
+
+@dataclass
+class IcmpPolicy:
+    """ICMP translation behaviour (Table 2's columns)."""
+
+    tcp: Dict[str, IcmpAction] = field(default_factory=icmp_actions)
+    udp: Dict[str, IcmpAction] = field(default_factory=icmp_actions)
+    #: Translate errors for ICMP echo flows (Table 2's "ICMP: Host Unreach.").
+    icmp_flows: bool = True
+    #: Rewrite the transport header embedded in error payloads (16/34 don't).
+    rewrites_embedded_transport: bool = True
+    #: Fix the IP checksum embedded in error payloads (zy1 and ls1 don't).
+    fixes_embedded_ip_checksum: bool = True
+    #: Track echo ident bindings so ping works through the NAT.
+    echo_binding: bool = True
+
+
+@dataclass
+class DnsProxyPolicy:
+    """DNS proxy behaviour (§4.3 "DNS" results)."""
+
+    proxy_udp: bool = True
+    #: Accepts TCP connections on port 53 (14/34 devices).
+    accepts_tcp: bool = False
+    #: Actually answers DNS queries over TCP (10/34 devices).
+    responds_tcp: bool = False
+    #: Upstream transport used for queries that arrived over TCP
+    #: ("udp" is ap's quirk; everyone else uses "tcp").
+    forwards_tcp_as: str = "tcp"
+
+
+@dataclass
+class QuirkPolicy:
+    """Miscellaneous behaviours from §4.4 and the §5 option-handling plans."""
+
+    decrements_ttl: bool = True
+    honors_record_route: bool = False
+    #: Same MAC on WAN and LAN ports (forced the paper onto two switches).
+    shared_wan_lan_mac: bool = False
+    #: Drop packets carrying IP options outright (Medina et al.: "the use of
+    #: IP options leads to failure in most cases").
+    drops_ip_options: bool = False
+    #: Strip unknown TCP options from forwarded SYNs (a middlebox behaviour
+    #: §2 discusses via Medina et al.).
+    strips_tcp_options: bool = False
+
+
+@dataclass
+class DeviceProfile:
+    """Everything the simulator needs to impersonate one gateway model."""
+
+    tag: str
+    vendor: str
+    model: str
+    firmware: str
+    udp_timeouts: UdpTimeoutPolicy = field(
+        default_factory=lambda: UdpTimeoutPolicy(120.0, 180.0, 180.0)
+    )
+    tcp_timeouts: TcpTimeoutPolicy = field(default_factory=lambda: TcpTimeoutPolicy(3600.0))
+    nat: NatPolicy = field(default_factory=NatPolicy)
+    forwarding: ForwardingPolicy = field(default_factory=ForwardingPolicy)
+    icmp: IcmpPolicy = field(default_factory=IcmpPolicy)
+    fallback: FallbackBehavior = FallbackBehavior.DROP
+    #: For IP_ONLY fallback: are inbound replies on the generic binding let
+    #: back in?  (True for the 18 SCTP-passing devices.)
+    fallback_allows_inbound: bool = True
+    dns_proxy: DnsProxyPolicy = field(default_factory=DnsProxyPolicy)
+    quirks: QuirkPolicy = field(default_factory=QuirkPolicy)
+    dhcp_lease_seconds: int = 86400
+
+    def clone(self, **overrides) -> "DeviceProfile":
+        """A copy with top-level fields replaced (handy for ablations)."""
+        return replace(self, **overrides)
+
+    def __post_init__(self) -> None:
+        if not self.tag:
+            raise ValueError("device profile needs a tag")
+        if self.dns_proxy.responds_tcp and not self.dns_proxy.accepts_tcp:
+            raise ValueError(f"{self.tag}: responds_tcp requires accepts_tcp")

@@ -1,0 +1,15 @@
+"""The home gateway model.
+
+A :class:`HomeGateway` is a two-port device (WAN, LAN) that does everything
+the paper's introduction lists: NAPT with per-traffic-pattern binding
+timeouts, inbound filtering, ICMP error translation, DHCP service on the LAN
+side, DHCP client on the WAN side, a DNS proxy, and a rate- and
+buffer-limited forwarding plane.  All policy comes from a
+:class:`~repro.devices.profile.DeviceProfile`.
+"""
+
+from repro.gateway.device import HomeGateway
+from repro.gateway.nat import Binding, NatEngine
+from repro.gateway.forwarding import ForwardingEngine
+
+__all__ = ["HomeGateway", "Binding", "NatEngine", "ForwardingEngine"]

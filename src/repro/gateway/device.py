@@ -1,0 +1,408 @@
+"""The :class:`HomeGateway` device: NAT router + local services.
+
+A ``HomeGateway`` is a :class:`~repro.protocols.stack.Host` (it has its own
+IP stack for DHCP, DNS proxying and answering pings) whose frame-receive
+path additionally *forwards*: LAN→WAN traffic is NATted out the WAN port,
+WAN→LAN traffic addressed to the WAN IP is matched against the binding
+table, translated and forwarded in.  Everything passes through the
+rate/buffer-limited :class:`~repro.gateway.forwarding.ForwardingEngine`.
+
+Interface 0 is always the WAN port, interface 1 the LAN port.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address, IPv4Network
+from typing import Any, Callable, List, Optional
+
+from repro.devices.profile import DeviceProfile, FallbackBehavior
+from repro.gateway.dns_proxy import DnsProxyService
+from repro.gateway.forwarding import DOWNSTREAM, UPSTREAM, ForwardingEngine
+from repro.gateway.icmp_translation import IcmpTranslationEngine
+from repro.gateway.nat import NatEngine
+from repro.gateway.translation import (
+    clone_packet,
+    refresh_ip_checksum,
+    rewrite_destination,
+    rewrite_ip_only,
+    rewrite_source,
+)
+from repro.netsim.addresses import BROADCAST_MAC
+from repro.netsim.node import Interface
+from repro.netsim.sim import Simulation
+from repro.packets.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.packets.icmp import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    TIME_EXCEEDED_TTL,
+    IcmpMessage,
+)
+from repro.packets.ipv4 import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    IPv4Packet,
+)
+from repro.packets.tcp import TcpSegment
+from repro.packets.udp import UdpDatagram
+from repro.protocols.dhcp import DhcpClientService, DhcpServerService
+from repro.protocols.stack import LIMITED_BROADCAST, Host
+
+WAN_IFACE = 0
+LAN_IFACE = 1
+
+
+class HomeGateway(Host):
+    """One simulated home gateway, behaving per its :class:`DeviceProfile`."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        profile: DeviceProfile,
+        mac_pool: Any,
+        lan_network: IPv4Network = IPv4Network("192.168.1.0/24"),
+        name: Optional[str] = None,
+    ):
+        super().__init__(sim, name or f"gw-{profile.tag}", mac_pool)
+        self.profile = profile
+        self.lan_network = lan_network
+        wan_iface = self.new_interface()
+        if profile.quirks.shared_wan_lan_mac:
+            lan_iface = self.add_interface(wan_iface.mac)
+        else:
+            lan_iface = self.new_interface()
+        self.lan_ip = IPv4Address(int(lan_network.network_address) + 1)
+        lan_iface.configure(self.lan_ip, lan_network)
+
+        self.nat = NatEngine(sim, profile)
+        self.nat.port_reserved = self._port_reserved
+        self.engine = ForwardingEngine(sim, profile.forwarding)
+        self.icmp_translation = IcmpTranslationEngine(profile.icmp, self.nat)
+        self.dhcp_server = DhcpServerService(
+            self,
+            LAN_IFACE,
+            lan_network,
+            self.lan_ip,
+            router=self.lan_ip,
+            dns_servers=[self.lan_ip],  # the gateway advertises its own proxy
+            lease_seconds=profile.dhcp_lease_seconds,
+        )
+        self.dns_proxy = DnsProxyService(self, profile.dns_proxy, LAN_IFACE)
+        self.wan_dns_servers: List[IPv4Address] = []
+        self._dhcp_client: Optional[DhcpClientService] = None
+        self.on_wan_configured: Optional[Callable[["HomeGateway"], None]] = None
+        # Gateways that don't answer RSTs for unsolicited WAN SYNs: the
+        # firewall silently drops them instead (handled in the demux below).
+        self.forwarded_up = 0
+        self.forwarded_down = 0
+        self.dropped_no_binding = 0
+        self.dropped_fallback = 0
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def wan_iface(self) -> Interface:
+        return self.interfaces[WAN_IFACE]
+
+    @property
+    def lan_iface(self) -> Interface:
+        return self.interfaces[LAN_IFACE]
+
+    @property
+    def wan_ip(self) -> Optional[IPv4Address]:
+        return self.wan_iface.ip
+
+    @property
+    def tag(self) -> str:
+        return self.profile.tag
+
+    # -- startup --------------------------------------------------------------
+
+    def start(self, on_ready: Optional[Callable[["HomeGateway"], None]] = None) -> None:
+        """Bring the WAN side up via DHCP (as the testbed's gateways do)."""
+        self.on_wan_configured = on_ready
+
+        def configured(client: DhcpClientService) -> None:
+            iface = self.wan_iface
+            if iface.gateway_ip is not None:
+                self.add_default_route(WAN_IFACE, iface.gateway_ip)
+            self.wan_dns_servers = list(client.dns_servers)
+            if self.on_wan_configured is not None:
+                self.on_wan_configured(self)
+
+        self._dhcp_client = DhcpClientService(self, WAN_IFACE, on_configured=configured)
+        self._dhcp_client.start()
+
+    def configure_wan_static(
+        self,
+        ip: IPv4Address,
+        network: IPv4Network,
+        gateway_ip: IPv4Address,
+        dns_servers: Optional[List[IPv4Address]] = None,
+    ) -> None:
+        """Static WAN setup for unit tests that skip DHCP."""
+        self.wan_iface.configure(ip, network, gateway_ip=gateway_ip)
+        self.add_default_route(WAN_IFACE, gateway_ip)
+        self.wan_dns_servers = list(dns_servers or [])
+
+    def _port_reserved(self, proto: str, port: int) -> bool:
+        if proto == "udp":
+            return self.udp.has_port(port)
+        if proto == "tcp":
+            return port in self.tcp.listeners or any(
+                key[1] == port for key in self.tcp.connections
+            )
+        return False
+
+    # -- frame demux ---------------------------------------------------------------
+
+    def receive_frame(self, iface: Interface, frame: Any) -> None:
+        if frame.ethertype != ETHERTYPE_IPV4:
+            return
+        if frame.dst != iface.mac and not frame.dst.is_broadcast and not frame.dst.is_multicast:
+            return
+        packet = frame.payload
+        if not isinstance(packet, IPv4Packet):
+            return
+        if packet.src != IPv4Address("0.0.0.0"):
+            self.neighbors[(iface.index, packet.src)] = frame.src
+        if iface.index == LAN_IFACE:
+            self._from_lan(packet, iface)
+        else:
+            self._from_wan(packet, iface)
+
+    # -- LAN -> WAN ---------------------------------------------------------------------
+
+    def _from_lan(self, packet: IPv4Packet, iface: Interface) -> None:
+        dst = packet.dst
+        if dst == self.lan_ip or dst == LIMITED_BROADCAST or (
+            iface.network is not None and dst == iface.network.broadcast_address
+        ):
+            self.deliver_local(packet, iface)
+            return
+        if dst in self.lan_network:
+            return  # LAN-to-LAN traffic is the switch's business, not ours
+        if self.wan_ip is None:
+            return  # WAN not up yet
+        if self.profile.nat.hairpinning and dst == self.wan_ip:
+            self._hairpin(packet)
+            return
+        outbound = clone_packet(packet)
+        if not self._apply_ttl_and_options(outbound):
+            return
+        self._translate_and_forward_up(outbound)
+
+    def _apply_ttl_and_options(self, packet: IPv4Packet) -> bool:
+        """TTL decrement and option handling, per the §4.4/§5 quirks."""
+        if self.profile.quirks.drops_ip_options and packet.record_route is not None:
+            # Medina et al.: packets with IP options frequently just vanish.
+            self.dropped_fallback += 1
+            return False
+        if self.profile.quirks.decrements_ttl:
+            if packet.ttl <= 1:
+                self._send_ttl_exceeded(packet)
+                return False
+            packet.ttl -= 1
+        if packet.record_route is not None and self.profile.quirks.honors_record_route:
+            if self.wan_ip is not None:
+                packet.record_route.record(self.wan_ip)
+        if self.profile.quirks.strips_tcp_options and isinstance(packet.payload, TcpSegment):
+            segment = packet.payload
+            if segment.options:
+                from repro.packets.tcp import TCPOPT_MSS
+
+                segment.options = [opt for opt in segment.options if opt.kind == TCPOPT_MSS]
+        refresh_ip_checksum(packet)
+        return True
+
+    def _send_ttl_exceeded(self, offending: IPv4Packet) -> None:
+        error = IcmpMessage.error(ICMP_TIME_EXCEEDED, TIME_EXCEEDED_TTL, offending)
+        reply = IPv4Packet(self.lan_ip, offending.src, PROTO_ICMP, error)
+        reply.fill_checksums()
+        self.send_ip_on_iface(reply, LAN_IFACE, next_hop=offending.src)
+
+    def _translate_and_forward_up(self, packet: IPv4Packet) -> None:
+        transport = packet.payload
+        if packet.protocol == PROTO_UDP and isinstance(transport, UdpDatagram):
+            self._forward_up_napt(packet, "udp", transport)
+        elif packet.protocol == PROTO_TCP and isinstance(transport, TcpSegment):
+            self._forward_up_napt(packet, "tcp", transport)
+        elif packet.protocol == PROTO_ICMP and isinstance(transport, IcmpMessage):
+            self._forward_up_icmp(packet, transport)
+        else:
+            self._forward_up_fallback(packet)
+
+    def _forward_up_napt(self, packet: IPv4Packet, proto: str, transport) -> None:
+        binding = self.nat.lookup_or_create(
+            proto, packet.src, transport.src_port, (packet.dst, transport.dst_port)
+        )
+        if binding is None:
+            self.dropped_no_binding += 1
+            return
+        rewrite_source(packet, self.wan_ip, binding.ext_port)
+        self.nat.note_outbound(binding)
+        if proto == "tcp":
+            self.nat.note_tcp_flags(binding, fin=transport.fin, rst=transport.rst, outbound=True)
+        self._enqueue_up(packet)
+
+    def _forward_up_icmp(self, packet: IPv4Packet, message: IcmpMessage) -> None:
+        if message.icmp_type in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY) and self.profile.icmp.echo_binding:
+            ext_ident = self.nat.echo_outbound(packet.src, message.echo_ident)
+            packet.src = self.wan_ip
+            message.rest = (ext_ident << 16) | message.echo_seq
+            message.fill_checksum()
+            refresh_ip_checksum(packet)
+            self._enqueue_up(packet)
+            return
+        # Outbound ICMP errors: translate the outer source only.
+        packet.src = self.wan_ip
+        refresh_ip_checksum(packet)
+        self._enqueue_up(packet)
+
+    def _forward_up_fallback(self, packet: IPv4Packet) -> None:
+        fallback = self.profile.fallback
+        if fallback is FallbackBehavior.DROP:
+            self.dropped_fallback += 1
+            return
+        if fallback is FallbackBehavior.IP_ONLY:
+            self.nat.generic_outbound(packet.protocol, packet.src, packet.dst)
+            rewrite_ip_only(packet, src=self.wan_ip)
+        # PASSTHROUGH: forward the packet exactly as it came, private source
+        # address and all (dl4/dl9/dl10/ls1's behaviour).
+        self._enqueue_up(packet)
+
+    def _hairpin(self, packet: IPv4Packet) -> None:
+        transport = packet.payload
+        proto = "udp" if packet.protocol == PROTO_UDP else "tcp" if packet.protocol == PROTO_TCP else None
+        if proto is None or not hasattr(transport, "dst_port"):
+            return
+        binding = self.nat.find_by_external(proto, transport.dst_port)
+        if binding is None:
+            self.dropped_no_binding += 1
+            return
+        # Hairpin: SNAT to the WAN address, DNAT to the internal target, and
+        # bounce the packet back down the LAN side.
+        out_binding = self.nat.lookup_or_create(
+            proto, packet.src, transport.src_port, (packet.dst, transport.dst_port)
+        )
+        if out_binding is None:
+            self.dropped_no_binding += 1
+            return
+        hairpinned = clone_packet(packet)
+        rewrite_source(hairpinned, self.wan_ip, out_binding.ext_port)
+        rewrite_destination(hairpinned, binding.int_ip, binding.int_port)
+        self.nat.note_outbound(out_binding)
+        self.nat.note_inbound(binding)
+        self._enqueue_down(hairpinned)
+
+    # -- WAN -> LAN --------------------------------------------------------------------------
+
+    def _from_wan(self, packet: IPv4Packet, iface: Interface) -> None:
+        dst = packet.dst
+        if dst == LIMITED_BROADCAST:
+            self.deliver_local(packet, iface)
+            return
+        if self.wan_ip is None or dst != self.wan_ip:
+            if iface.ip is None and dst != IPv4Address("0.0.0.0"):
+                # DHCP unicast during WAN configuration.
+                self.deliver_local(packet, iface)
+            elif self._generic_inbound(packet):
+                pass
+            return
+        transport = packet.payload
+        if packet.protocol == PROTO_UDP and isinstance(transport, UdpDatagram):
+            self._forward_down_napt(packet, "udp", transport, iface)
+        elif packet.protocol == PROTO_TCP and isinstance(transport, TcpSegment):
+            self._forward_down_napt(packet, "tcp", transport, iface)
+        elif packet.protocol == PROTO_ICMP and isinstance(transport, IcmpMessage):
+            self._forward_down_icmp(packet, transport, iface)
+        else:
+            if not self._generic_inbound(packet):
+                self.dropped_no_binding += 1
+
+    def _forward_down_napt(self, packet: IPv4Packet, proto: str, transport, iface: Interface) -> None:
+        binding = self.nat.find_by_external(proto, transport.dst_port)
+        if binding is None:
+            # Not a NATted flow: maybe it is for one of our own services
+            # (the DHCP client, the proxy's upstream sockets).
+            if self._local_owns(packet, proto, transport):
+                self.deliver_local(packet, iface)
+            else:
+                self.dropped_no_binding += 1  # firewall: silent drop
+            return
+        if not self.nat.inbound_allowed(binding, (packet.src, transport.src_port)):
+            return
+        inbound = clone_packet(packet)
+        rewrite_destination(inbound, binding.int_ip, binding.int_port)
+        self.nat.note_inbound(binding)
+        if proto == "tcp":
+            self.nat.note_tcp_flags(binding, fin=transport.fin, rst=transport.rst, outbound=False)
+        self._enqueue_down(inbound)
+
+    def _local_owns(self, packet: IPv4Packet, proto: str, transport) -> bool:
+        if proto == "udp":
+            return self.udp.has_port(transport.dst_port)
+        return self.tcp.owns_flow(packet.dst, transport.dst_port, packet.src, transport.src_port)
+
+    def _forward_down_icmp(self, packet: IPv4Packet, message: IcmpMessage, iface: Interface) -> None:
+        if message.icmp_type == ICMP_ECHO_REQUEST:
+            self.deliver_local(packet, iface)  # the gateway answers pings itself
+            return
+        if message.icmp_type == ICMP_ECHO_REPLY:
+            target = self.nat.echo_inbound(message.echo_ident) if self.profile.icmp.echo_binding else None
+            if target is None:
+                self.deliver_local(packet, iface)
+                return
+            int_ip, int_ident = target
+            inbound = clone_packet(packet)
+            inbound.dst = int_ip
+            reply = inbound.payload
+            reply.rest = (int_ident << 16) | reply.echo_seq
+            reply.fill_checksum()
+            refresh_ip_checksum(inbound)
+            self._enqueue_down(inbound)
+            return
+        if message.is_error:
+            action, result = self.icmp_translation.translate_inbound_error(packet)
+            if action == "drop" or result is None:
+                return
+            self._enqueue_down(result)
+
+    def _generic_inbound(self, packet: IPv4Packet) -> bool:
+        """Inbound path for unknown transports under the IP_ONLY fallback."""
+        if self.profile.fallback is not FallbackBehavior.IP_ONLY:
+            return False
+        int_ip = self.nat.generic_inbound(packet.protocol, packet.src)
+        if int_ip is None:
+            return False
+        if not self.profile.fallback_allows_inbound:
+            self.dropped_no_binding += 1
+            return True  # consumed (filtered)
+        inbound = clone_packet(packet)
+        rewrite_ip_only(inbound, dst=int_ip)
+        self._enqueue_down(inbound)
+        return True
+
+    # -- forwarding-plane egress ---------------------------------------------------------------
+
+    def _enqueue_up(self, packet: IPv4Packet) -> None:
+        self.engine.forward(UPSTREAM, packet, packet.wire_size(), self._transmit_wan)
+
+    def _enqueue_down(self, packet: IPv4Packet) -> None:
+        self.engine.forward(DOWNSTREAM, packet, packet.wire_size(), self._transmit_lan)
+
+    def _transmit_wan(self, packet: IPv4Packet) -> None:
+        self.forwarded_up += 1
+        iface = self.wan_iface
+        next_hop = packet.dst
+        if iface.network is None or packet.dst not in iface.network:
+            next_hop = iface.gateway_ip or packet.dst
+        mac = self.neighbors.get((WAN_IFACE, next_hop), BROADCAST_MAC)
+        iface.transmit(EthernetFrame(mac, iface.mac, packet, ETHERTYPE_IPV4))
+
+    def _transmit_lan(self, packet: IPv4Packet) -> None:
+        self.forwarded_down += 1
+        iface = self.lan_iface
+        mac = self.neighbors.get((LAN_IFACE, packet.dst), BROADCAST_MAC)
+        iface.transmit(EthernetFrame(mac, iface.mac, packet, ETHERTYPE_IPV4))

@@ -1,0 +1,143 @@
+"""The gateway forwarding plane: rates, buffers, processing delay.
+
+Each direction (upstream = LAN→WAN, downstream = WAN→LAN) passes through a
+token bucket enforcing that direction's forwarding rate, optionally capped
+by a *shared* bucket modelling the single forwarding CPU.  Two queueing
+disciplines exist, selected by the device profile:
+
+* **split** (default): one drop-tail queue per direction.  Bidirectional
+  load contends only for the shared rate.
+* **shared**: one FIFO through the forwarding engine for both directions.
+  A downstream packet waits behind queued upstream packets, which is what
+  makes the paper's weakest devices (ls1, dl10) jump from ~100 ms to
+  ~300-400 ms of delay under bidirectional load.
+
+The queue is the "over-dimensioned transmission buffer" of TCP-3: when TCP
+pushes faster than the bucket drains, sojourn time here *is* the queuing
+delay the payload timestamps measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.devices.profile import ForwardingPolicy
+from repro.netsim.queues import DropTailQueue, TokenBucket
+from repro.netsim.sim import Simulation
+
+UPSTREAM = "up"
+DOWNSTREAM = "down"
+_SHARED = "shared"
+
+#: Token-bucket burst: two full-size frames, small enough that rate
+#: enforcement is tight at the timescales the delay test can observe.
+BURST_BYTES = 2 * 1600
+
+
+class ForwardingEngine:
+    """Store-and-forward engine with per-direction or shared queueing."""
+
+    def __init__(self, sim: Simulation, policy: ForwardingPolicy):
+        self.sim = sim
+        self.policy = policy
+        self._buckets = {
+            UPSTREAM: TokenBucket(policy.up_rate_bps, BURST_BYTES),
+            DOWNSTREAM: TokenBucket(policy.down_rate_bps, BURST_BYTES),
+        }
+        self._shared_bucket: Optional[TokenBucket] = None
+        if policy.combined_rate_bps is not None:
+            self._shared_bucket = TokenBucket(policy.combined_rate_bps, BURST_BYTES)
+        # The pps cap rides on a TokenBucket by measuring packets in units of
+        # one "byte" each: rate_bps = 8 * pps makes the arithmetic line up.
+        self._packet_bucket: Optional[TokenBucket] = None
+        if policy.pps_limit is not None:
+            self._packet_bucket = TokenBucket(policy.pps_limit * 8.0, 2)
+        if policy.shared_queue:
+            self._queues: Dict[str, DropTailQueue] = {_SHARED: DropTailQueue(policy.buffer_bytes)}
+            self._lanes = (_SHARED,)
+        else:
+            self._queues = {
+                UPSTREAM: DropTailQueue(policy.buffer_bytes),
+                DOWNSTREAM: DropTailQueue(policy.buffer_bytes),
+            }
+            self._lanes = (UPSTREAM, DOWNSTREAM)
+        self._pending = {lane: False for lane in self._lanes}
+        self.forwarded = {UPSTREAM: 0, DOWNSTREAM: 0}
+        self.dropped = {UPSTREAM: 0, DOWNSTREAM: 0}
+
+    def _lane_for(self, direction: str) -> str:
+        return _SHARED if self.policy.shared_queue else direction
+
+    def forward(self, direction: str, item: Any, size_bytes: int, deliver: Callable[[Any], None]) -> bool:
+        """Enqueue ``item``; ``deliver(item)`` fires when it leaves the box.
+
+        Returns False when the buffer tail-dropped the item.
+        """
+        if direction not in (UPSTREAM, DOWNSTREAM):
+            raise ValueError(f"unknown direction {direction!r}")
+        lane = self._lane_for(direction)
+        if not self._queues[lane].offer((direction, item, deliver), size_bytes):
+            self.dropped[direction] += 1
+            return False
+        self._pump(lane)
+        return True
+
+    def queue_depth_bytes(self, direction: str) -> int:
+        return self._queues[self._lane_for(direction)].occupied_bytes
+
+    # -- internal ------------------------------------------------------------
+
+    def _head_delay(self, lane: str) -> Optional[float]:
+        """Seconds until the head of ``lane`` has tokens in every bucket it
+        must pass; None when the lane is empty."""
+        queue = self._queues[lane]
+        size = queue.peek_size()
+        if size is None:
+            return None
+        direction = queue._items[0][0][0]
+        delay = self._buckets[direction].delay_until_available(self.sim.now, size)
+        if self._shared_bucket is not None:
+            delay = max(delay, self._shared_bucket.delay_until_available(self.sim.now, size))
+        if self._packet_bucket is not None:
+            delay = max(delay, self._packet_bucket.delay_until_available(self.sim.now, 1))
+        return delay
+
+    def _pump(self, lane: str) -> None:
+        if self._pending[lane]:
+            return
+        delay = self._head_delay(lane)
+        if delay is None:
+            return
+        self._pending[lane] = True
+        self.sim.schedule(delay, self._dispatch, lane)
+
+    def _dispatch(self, lane: str) -> None:
+        self._pending[lane] = False
+        queue = self._queues[lane]
+        size = queue.peek_size()
+        if size is None:
+            return
+        direction = queue._items[0][0][0]
+        now = self.sim.now
+        bucket = self._buckets[direction]
+        # Another lane may have drained the shared bucket since the delay
+        # was computed; check both before consuming either.
+        if (
+            not bucket.can_consume(now, size)
+            or (self._shared_bucket is not None and not self._shared_bucket.can_consume(now, size))
+            or (self._packet_bucket is not None and not self._packet_bucket.can_consume(now, 1))
+        ):
+            self._pump(lane)
+            return
+        bucket.try_consume(now, size)
+        if self._shared_bucket is not None:
+            self._shared_bucket.try_consume(now, size)
+        if self._packet_bucket is not None:
+            self._packet_bucket.try_consume(now, 1)
+        entry = queue.poll()
+        if entry is None:  # pragma: no cover - defensive
+            return
+        (_direction, item, deliver), _size = entry
+        self.forwarded[direction] += 1
+        self.sim.schedule(self.policy.base_delay, deliver, item)
+        self._pump(lane)

@@ -1,0 +1,70 @@
+"""Header rewriting helpers used by the NAT data path.
+
+All translation happens on *copies* — the original packet object may still
+be referenced by traces or by the sender — and checksums are either fixed or
+deliberately left stale according to the device's policy, so checksum bugs
+(zy1, ls1) stay observable on the wire.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+from typing import Optional
+
+from repro.packets.clone import clone_packet
+from repro.packets.dccp import DccpPacket
+from repro.packets.ipv4 import IPv4Packet
+from repro.packets.sctp import SctpPacket
+from repro.packets.tcp import TcpSegment
+from repro.packets.udp import UdpDatagram
+
+__all__ = [
+    "clone_packet",
+    "rewrite_source",
+    "rewrite_destination",
+    "rewrite_ip_only",
+    "refresh_ip_checksum",
+]
+
+
+def rewrite_source(packet: IPv4Packet, new_ip: IPv4Address, new_port: Optional[int]) -> None:
+    """SNAT: rewrite source address (and port) and fix the checksums."""
+    packet.src = new_ip
+    transport = packet.payload
+    if new_port is not None and isinstance(transport, (UdpDatagram, TcpSegment, SctpPacket, DccpPacket)):
+        transport.src_port = new_port
+    _refresh_checksums(packet)
+
+
+def rewrite_destination(packet: IPv4Packet, new_ip: IPv4Address, new_port: Optional[int]) -> None:
+    """DNAT: rewrite destination address (and port) and fix the checksums."""
+    packet.dst = new_ip
+    transport = packet.payload
+    if new_port is not None and isinstance(transport, (UdpDatagram, TcpSegment, SctpPacket, DccpPacket)):
+        transport.dst_port = new_port
+    _refresh_checksums(packet)
+
+
+def rewrite_ip_only(packet: IPv4Packet, src: Optional[IPv4Address] = None, dst: Optional[IPv4Address] = None) -> None:
+    """The IP-only fallback: rewrite addresses, fix *only* the IP header
+    checksum, and leave the transport checksum untouched.
+
+    This preserves SCTP (its CRC ignores addresses) and corrupts DCCP (its
+    checksum covers the pseudo-header) — the §4.4 mechanism.
+    """
+    if src is not None:
+        packet.src = src
+    if dst is not None:
+        packet.dst = dst
+    packet.header_checksum = packet.compute_header_checksum()
+
+
+def _refresh_checksums(packet: IPv4Packet) -> None:
+    transport = packet.payload
+    if hasattr(transport, "fill_checksum"):
+        transport.fill_checksum(packet.src, packet.dst)
+    packet.header_checksum = packet.compute_header_checksum()
+
+
+def refresh_ip_checksum(packet: IPv4Packet) -> None:
+    packet.header_checksum = packet.compute_header_checksum()

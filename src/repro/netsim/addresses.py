@@ -1,0 +1,95 @@
+"""Link-layer addressing helpers.
+
+IP addresses throughout the reproduction use :class:`ipaddress.IPv4Address`
+from the standard library; this module provides the Ethernet side: a small
+immutable MAC address type and a deterministic allocator, plus the broadcast
+constant used by DHCP and ARP-free delivery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+
+class MacAddress:
+    """An immutable 48-bit Ethernet MAC address.
+
+    Stored as an int for cheap hashing/comparison; prints in the familiar
+    colon-separated form.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int):
+        if not 0 <= value < (1 << 48):
+            raise ValueError(f"MAC address out of range: {value:#x}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` (case-insensitive)."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address: {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part, 16)
+            if not 0 <= octet <= 0xFF:
+                raise ValueError(f"malformed MAC address: {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == 0xFFFFFFFFFFFF
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool((self._value >> 40) & 0x01)
+
+    def to_bytes(self) -> bytes:
+        return self._value.to_bytes(6, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddress":
+        if len(data) != 6:
+            raise ValueError(f"MAC address needs 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        return self._value < other._value
+
+    def __str__(self) -> str:
+        raw = self._value.to_bytes(6, "big")
+        return ":".join(f"{octet:02x}" for octet in raw)
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+
+BROADCAST_MAC = MacAddress(0xFFFFFFFFFFFF)
+
+
+def mac_allocator(oui: int = 0x02_00_00) -> Iterator[MacAddress]:
+    """Yield distinct locally-administered MAC addresses.
+
+    The default OUI has the locally-administered bit set, so generated
+    addresses can never collide with real hardware.
+    """
+    if not 0 <= oui < (1 << 24):
+        raise ValueError(f"OUI out of range: {oui:#x}")
+    for serial in itertools.count(1):
+        if serial >= (1 << 24):
+            raise RuntimeError("MAC allocator exhausted")
+        yield MacAddress((oui << 24) | serial)

@@ -1,0 +1,109 @@
+"""Full-duplex point-to-point links.
+
+A :class:`Link` joins two interfaces with independent transmitters per
+direction.  Each transmitter serializes frames at the link rate through a
+drop-tail queue, then the frame propagates for ``delay`` seconds — the usual
+store-and-forward model.  The testbed's "100 Mb/sec Ethernet" links are
+``Link(sim, rate_bps=100e6)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.netsim.node import Interface
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.sim import Simulation
+
+#: Default transmit-queue size; generous enough that host-side queues are
+#: never the bottleneck (the interesting buffers live inside the gateways).
+DEFAULT_TX_QUEUE_BYTES = 4 * 1024 * 1024
+
+
+def frame_wire_size(frame: Any) -> int:
+    """Bytes a frame occupies on the wire (delegates to the frame)."""
+    size = frame.wire_size()
+    if size <= 0:
+        raise ValueError(f"frame reports non-positive wire size: {size}")
+    return size
+
+
+class LinkEndpoint:
+    """One direction-of-entry into a link: the transmitter at one end."""
+
+    def __init__(self, link: "Link", iface: Interface, queue_bytes: int):
+        self.link = link
+        self.iface = iface
+        self.peer: Optional["LinkEndpoint"] = None
+        self.queue = DropTailQueue(queue_bytes)
+        self._transmitting = False
+
+    def transmit(self, frame: Any) -> None:
+        """Queue a frame for serialization onto the wire."""
+        if not self.queue.offer(frame, frame_wire_size(frame)):
+            return  # tail drop
+        if not self._transmitting:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        entry = self.queue.poll()
+        if entry is None:
+            self._transmitting = False
+            return
+        frame, size = entry
+        self._transmitting = True
+        tx_time = size * 8.0 / self.link.rate_bps
+        sim = self.link.sim
+        sim.schedule(tx_time, self._transmission_done, frame)
+
+    def _transmission_done(self, frame: Any) -> None:
+        peer = self.peer
+        if peer is not None and not self.link.broken:
+            self.link.sim.schedule(self.link.delay, peer.iface.deliver, frame)
+            self.link.frames_carried += 1
+        self._start_next()
+
+
+class Link:
+    """A full-duplex wire between exactly two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        rate_bps: float = 100e6,
+        delay: float = 50e-6,
+        queue_bytes: int = DEFAULT_TX_QUEUE_BYTES,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if delay < 0:
+            raise ValueError(f"link delay must be non-negative, got {delay}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self._queue_bytes = queue_bytes
+        self.endpoint_a: Optional[LinkEndpoint] = None
+        self.endpoint_b: Optional[LinkEndpoint] = None
+        self.broken = False
+        self.frames_carried = 0
+
+    def attach(self, iface_a: Interface, iface_b: Interface) -> "Link":
+        """Plug both ends in."""
+        if self.endpoint_a is not None or self.endpoint_b is not None:
+            raise RuntimeError("link already attached")
+        if iface_a.attached or iface_b.attached:
+            raise RuntimeError("interface already attached to another link")
+        self.endpoint_a = LinkEndpoint(self, iface_a, self._queue_bytes)
+        self.endpoint_b = LinkEndpoint(self, iface_b, self._queue_bytes)
+        self.endpoint_a.peer = self.endpoint_b
+        self.endpoint_b.peer = self.endpoint_a
+        iface_a.endpoint = self.endpoint_a
+        iface_b.endpoint = self.endpoint_b
+        return self
+
+    def sever(self) -> None:
+        """Cut the cable: in-flight frames are lost, future sends go nowhere."""
+        self.broken = True
+
+    def mend(self) -> None:
+        self.broken = False

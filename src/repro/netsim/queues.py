@@ -1,0 +1,123 @@
+"""Packet queues and rate limiters.
+
+Two building blocks live here:
+
+* :class:`DropTailQueue` — a FIFO bounded in bytes, the queue discipline of
+  every link transmitter and of the home-gateway forwarding engine.  The
+  over-dimensioned transmit buffers the paper measures in test TCP-3 are
+  simply ``DropTailQueue`` instances with large ``capacity_bytes``.
+* :class:`TokenBucket` — a classic token-bucket rate limiter used by gateway
+  profiles that shape traffic below line rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+
+class DropTailQueue:
+    """A byte-bounded FIFO that drops arrivals when full (tail drop)."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._items: Deque[Tuple[Any, int]] = deque()
+        self._occupied = 0
+        self.enqueued = 0
+        self.dropped = 0
+
+    def offer(self, item: Any, size_bytes: int) -> bool:
+        """Enqueue ``item``; returns False (and counts a drop) when full."""
+        if size_bytes <= 0:
+            raise ValueError(f"item size must be positive, got {size_bytes}")
+        if self._occupied + size_bytes > self.capacity_bytes:
+            self.dropped += 1
+            return False
+        self._items.append((item, size_bytes))
+        self._occupied += size_bytes
+        self.enqueued += 1
+        return True
+
+    def poll(self) -> Optional[Tuple[Any, int]]:
+        """Dequeue the head ``(item, size_bytes)``, or None when empty."""
+        if not self._items:
+            return None
+        item, size = self._items.popleft()
+        self._occupied -= size
+        return item, size
+
+    def peek_size(self) -> Optional[int]:
+        """Size in bytes of the head item, or None when empty."""
+        if not self._items:
+            return None
+        return self._items[0][1]
+
+    @property
+    def occupied_bytes(self) -> int:
+        return self._occupied
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._occupied = 0
+
+
+class TokenBucket:
+    """Token-bucket rate limiter over virtual time.
+
+    Tokens are bytes.  ``rate_bps`` is the fill rate in *bits* per second to
+    match how link speeds are quoted everywhere else in the reproduction.
+    """
+
+    def __init__(self, rate_bps: float, burst_bytes: int):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if burst_bytes <= 0:
+            raise ValueError(f"burst must be positive, got {burst_bytes}")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_fill = 0.0
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_fill
+        if elapsed < 0:
+            raise ValueError("time went backwards in TokenBucket")
+        self._tokens = min(self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8.0)
+        self._last_fill = now
+
+    #: Slack absorbing float rounding: a bucket that is within a fraction of
+    #: a byte of full-enough counts as ready, otherwise a scheduler waiting
+    #: ``delay_until_available`` seconds could wake up a hair short of its
+    #: tokens and respin forever at the same virtual instant.
+    EPSILON_BYTES = 1e-6
+
+    def can_consume(self, now: float, size_bytes: int) -> bool:
+        self._refill(now)
+        return self._tokens + self.EPSILON_BYTES >= size_bytes
+
+    def try_consume(self, now: float, size_bytes: int) -> bool:
+        """Consume ``size_bytes`` tokens if available right now."""
+        if not self.can_consume(now, size_bytes):
+            return False
+        self._tokens = max(self._tokens - size_bytes, 0.0)
+        return True
+
+    def delay_until_available(self, now: float, size_bytes: int) -> float:
+        """Seconds until ``size_bytes`` tokens will have accumulated (0 if ready)."""
+        self._refill(now)
+        deficit = size_bytes - self._tokens
+        if deficit <= self.EPSILON_BYTES:
+            return 0.0
+        return deficit * 8.0 / self.rate_bps
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens

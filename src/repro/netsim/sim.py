@@ -1,0 +1,161 @@
+"""Event scheduler and virtual clock.
+
+The simulation core is a classic calendar queue: a binary heap of
+``(time, sequence, callback)`` entries.  The ``sequence`` counter makes the
+ordering total and deterministic — two events scheduled for the same instant
+fire in the order they were scheduled, which keeps every run of the
+reproduction bit-for-bit repeatable.
+
+Time is a float in seconds.  The measurement suite routinely simulates hours
+of idle time (TCP binding timeouts run to a 24-hour cutoff), which costs
+nothing here: the clock jumps straight to the next event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class CancelledError(RuntimeError):
+    """Raised when interacting with a timer that was cancelled."""
+
+
+class Timer:
+    """A cancellable, reschedulable handle for a pending event.
+
+    ``Timer`` is the workhorse of every timeout in the reproduction: NAT
+    binding timers, TCP retransmission timers, DHCP lease timers and the
+    measurement sleep timers are all ``Timer`` instances.  A fired or
+    cancelled timer can be re-armed with :meth:`restart`.
+    """
+
+    __slots__ = ("_sim", "_callback", "_args", "_deadline", "_alive")
+
+    def __init__(self, sim: "Simulation", callback: Callable[..., None], *args: Any):
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._deadline: Optional[float] = None
+        self._alive = False
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute firing time, or ``None`` when not armed."""
+        return self._deadline if self._alive else None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is pending."""
+        return self._alive
+
+    def start(self, delay: float) -> "Timer":
+        """Arm the timer ``delay`` seconds from now; re-arms if already armed."""
+        if delay < 0:
+            raise ValueError(f"negative timer delay: {delay}")
+        self._alive = True
+        self._deadline = self._sim.now + delay
+        self._sim._schedule_abs(self._deadline, self._fire)
+        return self
+
+    # ``restart`` reads better at call sites that re-arm an existing timer.
+    restart = start
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Safe to call on an unarmed timer."""
+        self._alive = False
+        self._deadline = None
+
+    def _fire(self) -> None:
+        # A restarted timer leaves stale heap entries behind; only the entry
+        # matching the current deadline may fire.
+        if not self._alive or self._sim.now != self._deadline:
+            return
+        self._alive = False
+        self._deadline = None
+        self._callback(*self._args)
+
+
+class Simulation:
+    """The virtual world: a clock, an event heap, and a seeded RNG.
+
+    All model objects (hosts, links, gateways) hold a reference to the one
+    ``Simulation`` they live in and schedule their behaviour through it.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.rng = random.Random(seed)
+        self.events_processed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._schedule_abs(self.now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule into the past (when={when}, now={self.now})")
+        self._schedule_abs(when, callback, *args)
+
+    def timer(self, callback: Callable[..., None], *args: Any) -> Timer:
+        """Create an (unarmed) :class:`Timer` bound to this simulation."""
+        return Timer(self, callback, *args)
+
+    def _schedule_abs(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        if args:
+            entry = (when, next(self._seq), lambda: callback(*args))
+        else:
+            entry = (when, next(self._seq), callback)
+        heapq.heappush(self._heap, entry)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event.  Returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, callback = heapq.heappop(self._heap)
+        self.now = when
+        self.events_processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event heap.
+
+        ``until`` stops the clock at an absolute time (pending later events
+        stay queued and the clock is advanced to ``until``).  ``max_events``
+        guards against runaway models.
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = max(self.now, until)
+                return
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            self.step()
+            processed += 1
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Advance the clock by ``duration`` seconds."""
+        self.run(until=self.now + duration, max_events=max_events)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (stale timer entries included)."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulation t={self.now:.6f}s pending={len(self._heap)}>"

@@ -1,0 +1,86 @@
+"""Packet capture.
+
+The paper determines several behaviours "by inspecting packet traces" (the
+ICMP translation tests in §3.2.3 hijack packets and look at what the NAT
+emitted).  :class:`PacketTrace` is the tcpdump of this reproduction: wrap an
+interface and every frame it sends or receives is recorded with a timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.netsim.node import Interface
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One captured frame."""
+
+    timestamp: float
+    direction: str  # "tx" or "rx"
+    frame: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.direction} @ {self.timestamp:.6f}s {self.frame!r}>"
+
+
+class PacketTrace:
+    """Record all frames crossing an interface.
+
+    Installs transparently by wrapping the interface's ``transmit`` and
+    ``deliver`` methods; :meth:`detach` restores them.
+    """
+
+    def __init__(self, iface: Interface, clock: Callable[[], float]):
+        self.iface = iface
+        self._clock = clock
+        self.entries: List[TraceEntry] = []
+        self._orig_transmit = iface.transmit
+        self._orig_deliver = iface.deliver
+        iface.transmit = self._traced_transmit  # type: ignore[method-assign]
+        iface.deliver = self._traced_deliver  # type: ignore[method-assign]
+        self._attached = True
+
+    @classmethod
+    def on(cls, iface: Interface) -> "PacketTrace":
+        """Attach a trace using the interface's own simulation clock."""
+        sim = iface.node.sim
+        return cls(iface, lambda: sim.now)
+
+    def _traced_transmit(self, frame: Any) -> None:
+        self.entries.append(TraceEntry(self._clock(), "tx", frame))
+        self._orig_transmit(frame)
+
+    def _traced_deliver(self, frame: Any) -> None:
+        self.entries.append(TraceEntry(self._clock(), "rx", frame))
+        self._orig_deliver(frame)
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.iface.transmit = self._orig_transmit  # type: ignore[method-assign]
+        self.iface.deliver = self._orig_deliver  # type: ignore[method-assign]
+        self._attached = False
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def select(
+        self,
+        direction: Optional[str] = None,
+        predicate: Optional[Callable[[Any], bool]] = None,
+    ) -> List[TraceEntry]:
+        """Filter captured entries by direction and/or a frame predicate."""
+        out = []
+        for entry in self.entries:
+            if direction is not None and entry.direction != direction:
+                continue
+            if predicate is not None and not predicate(entry.frame):
+                continue
+            out.append(entry)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries)

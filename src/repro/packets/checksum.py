@@ -1,0 +1,83 @@
+"""Checksums used on the wire.
+
+Two algorithms matter to the study:
+
+* The one's-complement *Internet checksum* (RFC 1071) used by IPv4, UDP, TCP,
+  ICMP and DCCP.  UDP/TCP/DCCP compute it over a pseudo-header that includes
+  the IP addresses — which is exactly why rewriting an address in a NAT
+  requires fixing the transport checksum.
+* *CRC-32c* (Castagnoli) used by SCTP.  It does **not** cover a pseudo-header,
+  which is why SCTP survives gateways that fall back to translating only the
+  IP header (§4.4 of the paper).
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from ipaddress import IPv4Address
+
+
+def internet_checksum_reference(data: bytes) -> int:
+    """RFC 1071, the obvious byte-at-a-time implementation.
+
+    Kept as the oracle for property tests of the fast version below.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 one's-complement sum of 16-bit words.
+
+    Fast path: sum native-endian 16-bit words at C speed, fold, and
+    byte-swap the folded result on little-endian machines.  One's-complement
+    addition is endian-agnostic, so this equals the big-endian sum (the
+    classic BSD trick); the reference implementation above is the oracle.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(array("H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    if sys.byteorder == "little":
+        total = ((total & 0xFF) << 8) | (total >> 8)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src: IPv4Address, dst: IPv4Address, protocol: int, length: int) -> bytes:
+    """The IPv4 pseudo-header prepended for UDP/TCP/DCCP checksums."""
+    if not 0 <= protocol <= 0xFF:
+        raise ValueError(f"protocol out of range: {protocol}")
+    if not 0 <= length <= 0xFFFF:
+        raise ValueError(f"length out of range: {length}")
+    return src.packed + dst.packed + bytes([0, protocol]) + length.to_bytes(2, "big")
+
+
+def _build_crc32c_table() -> list:
+    poly = 0x82F63B78  # reflected Castagnoli polynomial
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ poly if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_CRC32C_TABLE = _build_crc32c_table()
+
+
+def crc32c(data: bytes) -> int:
+    """CRC-32c (Castagnoli), as used by SCTP (RFC 4960 appendix B)."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = _CRC32C_TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF

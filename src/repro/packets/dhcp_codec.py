@@ -1,0 +1,202 @@
+"""DHCP wire format (RFC 2131/2132), as used by the testbed.
+
+The test server leases a distinct RFC 1918 block to every gateway's WAN
+interface, and each gateway's own DHCP server configures the test client's
+per-VLAN interface — so both a server and a client speak this format.
+Supported options are the ones those exchanges need: message type, subnet
+mask, router, DNS servers, lease time, server identifier, requested address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ipaddress import IPv4Address
+from typing import Dict, List, Optional
+
+from repro.netsim.addresses import MacAddress
+
+DHCP_DISCOVER = 1
+DHCP_OFFER = 2
+DHCP_REQUEST = 3
+DHCP_DECLINE = 4
+DHCP_ACK = 5
+DHCP_NAK = 6
+DHCP_RELEASE = 7
+
+OPT_SUBNET_MASK = 1
+OPT_ROUTER = 3
+OPT_DNS_SERVERS = 6
+OPT_REQUESTED_IP = 50
+OPT_LEASE_TIME = 51
+OPT_MESSAGE_TYPE = 53
+OPT_SERVER_ID = 54
+OPT_END = 255
+
+BOOTREQUEST = 1
+BOOTREPLY = 2
+
+MAGIC_COOKIE = bytes([99, 130, 83, 99])
+
+_FIXED_BYTES = 236
+
+MESSAGE_TYPE_NAMES = {
+    DHCP_DISCOVER: "DISCOVER",
+    DHCP_OFFER: "OFFER",
+    DHCP_REQUEST: "REQUEST",
+    DHCP_DECLINE: "DECLINE",
+    DHCP_ACK: "ACK",
+    DHCP_NAK: "NAK",
+    DHCP_RELEASE: "RELEASE",
+}
+
+_ZERO_IP = IPv4Address("0.0.0.0")
+
+
+def _ip_list_bytes(addresses: List[IPv4Address]) -> bytes:
+    return b"".join(a.packed for a in addresses)
+
+
+@dataclass
+class DhcpMessage:
+    """A BOOTP/DHCP message."""
+
+    op: int
+    xid: int
+    client_mac: MacAddress
+    ciaddr: IPv4Address = _ZERO_IP
+    yiaddr: IPv4Address = _ZERO_IP
+    siaddr: IPv4Address = _ZERO_IP
+    giaddr: IPv4Address = _ZERO_IP
+    options: Dict[int, bytes] = field(default_factory=dict)
+
+    # -- option accessors ---------------------------------------------------
+
+    @property
+    def message_type(self) -> Optional[int]:
+        raw = self.options.get(OPT_MESSAGE_TYPE)
+        return raw[0] if raw else None
+
+    def set_message_type(self, message_type: int) -> None:
+        self.options[OPT_MESSAGE_TYPE] = bytes([message_type])
+
+    @property
+    def subnet_mask(self) -> Optional[IPv4Address]:
+        raw = self.options.get(OPT_SUBNET_MASK)
+        return IPv4Address(raw) if raw else None
+
+    @property
+    def router(self) -> Optional[IPv4Address]:
+        raw = self.options.get(OPT_ROUTER)
+        return IPv4Address(raw[:4]) if raw else None
+
+    @property
+    def dns_servers(self) -> List[IPv4Address]:
+        raw = self.options.get(OPT_DNS_SERVERS, b"")
+        return [IPv4Address(raw[i : i + 4]) for i in range(0, len(raw), 4)]
+
+    @property
+    def lease_time(self) -> Optional[int]:
+        raw = self.options.get(OPT_LEASE_TIME)
+        return int.from_bytes(raw, "big") if raw else None
+
+    @property
+    def server_id(self) -> Optional[IPv4Address]:
+        raw = self.options.get(OPT_SERVER_ID)
+        return IPv4Address(raw) if raw else None
+
+    @property
+    def requested_ip(self) -> Optional[IPv4Address]:
+        raw = self.options.get(OPT_REQUESTED_IP)
+        return IPv4Address(raw) if raw else None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def discover(cls, xid: int, client_mac: MacAddress) -> "DhcpMessage":
+        message = cls(BOOTREQUEST, xid, client_mac)
+        message.set_message_type(DHCP_DISCOVER)
+        return message
+
+    @classmethod
+    def request(cls, xid: int, client_mac: MacAddress, requested: IPv4Address, server_id: IPv4Address) -> "DhcpMessage":
+        message = cls(BOOTREQUEST, xid, client_mac)
+        message.set_message_type(DHCP_REQUEST)
+        message.options[OPT_REQUESTED_IP] = requested.packed
+        message.options[OPT_SERVER_ID] = server_id.packed
+        return message
+
+    @classmethod
+    def reply(
+        cls,
+        message_type: int,
+        xid: int,
+        client_mac: MacAddress,
+        yiaddr: IPv4Address,
+        server_id: IPv4Address,
+        subnet_mask: IPv4Address,
+        router: Optional[IPv4Address],
+        dns_servers: List[IPv4Address],
+        lease_time: int,
+    ) -> "DhcpMessage":
+        message = cls(BOOTREPLY, xid, client_mac, yiaddr=yiaddr, siaddr=server_id)
+        message.set_message_type(message_type)
+        message.options[OPT_SERVER_ID] = server_id.packed
+        message.options[OPT_SUBNET_MASK] = subnet_mask.packed
+        if router is not None:
+            message.options[OPT_ROUTER] = router.packed
+        if dns_servers:
+            message.options[OPT_DNS_SERVERS] = _ip_list_bytes(dns_servers)
+        message.options[OPT_LEASE_TIME] = lease_time.to_bytes(4, "big")
+        return message
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(_FIXED_BYTES)
+        out[0] = self.op
+        out[1] = 1  # htype: Ethernet
+        out[2] = 6  # hlen
+        out[4:8] = self.xid.to_bytes(4, "big")
+        out[12:16] = self.ciaddr.packed
+        out[16:20] = self.yiaddr.packed
+        out[20:24] = self.siaddr.packed
+        out[24:28] = self.giaddr.packed
+        out[28:34] = self.client_mac.to_bytes()
+        raw = bytes(out) + MAGIC_COOKIE
+        for code in sorted(self.options):
+            value = self.options[code]
+            raw += bytes([code, len(value)]) + value
+        raw += bytes([OPT_END])
+        return raw
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DhcpMessage":
+        if len(data) < _FIXED_BYTES + 4:
+            raise ValueError(f"truncated DHCP message: {len(data)} bytes")
+        if data[_FIXED_BYTES : _FIXED_BYTES + 4] != MAGIC_COOKIE:
+            raise ValueError("missing DHCP magic cookie")
+        message = cls(
+            op=data[0],
+            xid=int.from_bytes(data[4:8], "big"),
+            client_mac=MacAddress.from_bytes(data[28:34]),
+            ciaddr=IPv4Address(data[12:16]),
+            yiaddr=IPv4Address(data[16:20]),
+            siaddr=IPv4Address(data[20:24]),
+            giaddr=IPv4Address(data[24:28]),
+        )
+        offset = _FIXED_BYTES + 4
+        while offset < len(data):
+            code = data[offset]
+            if code == OPT_END:
+                break
+            if code == 0:  # pad
+                offset += 1
+                continue
+            length = data[offset + 1]
+            message.options[code] = data[offset + 2 : offset + 2 + length]
+            offset += 2 + length
+        return message
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = MESSAGE_TYPE_NAMES.get(self.message_type or 0, "?")
+        return f"<DHCP {name} xid={self.xid:#x} mac={self.client_mac} yiaddr={self.yiaddr}>"

@@ -1,0 +1,243 @@
+"""DNS wire format (RFC 1035), enough for the study's DNS-proxy tests.
+
+Encodes/decodes the header, question section and A/PTR/TXT resource records,
+plus the 2-byte length prefix used by DNS-over-TCP.  Name compression is not
+emitted (it is accepted on decode for pointers back into the message), which
+matches what simple embedded DNS proxies produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ipaddress import IPv4Address
+from typing import List, Tuple
+
+QTYPE_A = 1
+QTYPE_NS = 2
+QTYPE_PTR = 12
+QTYPE_TXT = 16
+QTYPE_AAAA = 28
+
+QCLASS_IN = 1
+
+RCODE_NOERROR = 0
+RCODE_FORMERR = 1
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+RCODE_NOTIMP = 4
+RCODE_REFUSED = 5
+
+_MAX_LABEL = 63
+_MAX_NAME = 255
+
+
+def encode_name(name: str) -> bytes:
+    """Encode ``www.example.com`` as length-prefixed labels."""
+    if name in ("", "."):
+        return b"\x00"
+    out = bytearray()
+    for label in name.rstrip(".").split("."):
+        raw = label.encode("ascii")
+        if not raw:
+            raise ValueError(f"empty label in {name!r}")
+        if len(raw) > _MAX_LABEL:
+            raise ValueError(f"label too long in {name!r}")
+        out.append(len(raw))
+        out += raw
+    out.append(0)
+    if len(out) > _MAX_NAME:
+        raise ValueError(f"name too long: {name!r}")
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a (possibly compressed) name; returns (name, next_offset)."""
+    labels: List[str] = []
+    jumps = 0
+    next_offset = None
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated DNS name")
+        length = data[offset]
+        if length == 0:
+            offset += 1
+            break
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if offset + 1 >= len(data):
+                raise ValueError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if next_offset is None:
+                next_offset = offset + 2
+            offset = pointer
+            jumps += 1
+            if jumps > 64:
+                raise ValueError("compression pointer loop")
+            continue
+        if length > _MAX_LABEL:
+            raise ValueError(f"bad label length {length}")
+        label = data[offset + 1 : offset + 1 + length]
+        if len(label) != length:
+            raise ValueError("truncated label")
+        labels.append(label.decode("ascii"))
+        offset += 1 + length
+    name = ".".join(labels)
+    return name, (next_offset if next_offset is not None else offset)
+
+
+@dataclass(frozen=True)
+class DnsQuestion:
+    name: str
+    qtype: int = QTYPE_A
+    qclass: int = QCLASS_IN
+
+    def to_bytes(self) -> bytes:
+        return encode_name(self.name) + self.qtype.to_bytes(2, "big") + self.qclass.to_bytes(2, "big")
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    name: str
+    rtype: int
+    ttl: int
+    rdata: bytes
+    rclass: int = QCLASS_IN
+
+    @classmethod
+    def a(cls, name: str, address: IPv4Address, ttl: int = 300) -> "DnsRecord":
+        return cls(name, QTYPE_A, ttl, address.packed)
+
+    @property
+    def address(self) -> IPv4Address:
+        if self.rtype != QTYPE_A or len(self.rdata) != 4:
+            raise ValueError("not an A record")
+        return IPv4Address(self.rdata)
+
+    def to_bytes(self) -> bytes:
+        out = encode_name(self.name)
+        out += self.rtype.to_bytes(2, "big") + self.rclass.to_bytes(2, "big")
+        out += self.ttl.to_bytes(4, "big")
+        out += len(self.rdata).to_bytes(2, "big") + self.rdata
+        return out
+
+
+@dataclass
+class DnsMessage:
+    """A DNS query or response."""
+
+    txid: int = 0
+    is_response: bool = False
+    opcode: int = 0
+    authoritative: bool = False
+    truncated: bool = False
+    recursion_desired: bool = True
+    recursion_available: bool = False
+    rcode: int = RCODE_NOERROR
+    questions: List[DnsQuestion] = field(default_factory=list)
+    answers: List[DnsRecord] = field(default_factory=list)
+    authority: List[DnsRecord] = field(default_factory=list)
+    additional: List[DnsRecord] = field(default_factory=list)
+
+    @classmethod
+    def query(cls, name: str, qtype: int = QTYPE_A, txid: int = 0) -> "DnsMessage":
+        return cls(txid=txid, questions=[DnsQuestion(name, qtype)])
+
+    def response(self, answers: List[DnsRecord], rcode: int = RCODE_NOERROR) -> "DnsMessage":
+        """Build the response to this query."""
+        return DnsMessage(
+            txid=self.txid,
+            is_response=True,
+            recursion_desired=self.recursion_desired,
+            recursion_available=True,
+            rcode=rcode,
+            questions=list(self.questions),
+            answers=answers,
+        )
+
+    def to_bytes(self) -> bytes:
+        flags = 0
+        if self.is_response:
+            flags |= 0x8000
+        flags |= (self.opcode & 0xF) << 11
+        if self.authoritative:
+            flags |= 0x0400
+        if self.truncated:
+            flags |= 0x0200
+        if self.recursion_desired:
+            flags |= 0x0100
+        if self.recursion_available:
+            flags |= 0x0080
+        flags |= self.rcode & 0xF
+        out = self.txid.to_bytes(2, "big") + flags.to_bytes(2, "big")
+        out += len(self.questions).to_bytes(2, "big")
+        out += len(self.answers).to_bytes(2, "big")
+        out += len(self.authority).to_bytes(2, "big")
+        out += len(self.additional).to_bytes(2, "big")
+        for question in self.questions:
+            out += question.to_bytes()
+        for section in (self.answers, self.authority, self.additional):
+            for record in section:
+                out += record.to_bytes()
+        return out
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DnsMessage":
+        if len(data) < 12:
+            raise ValueError(f"truncated DNS header: {len(data)} bytes")
+        txid = int.from_bytes(data[0:2], "big")
+        flags = int.from_bytes(data[2:4], "big")
+        counts = [int.from_bytes(data[4 + 2 * i : 6 + 2 * i], "big") for i in range(4)]
+        message = cls(
+            txid=txid,
+            is_response=bool(flags & 0x8000),
+            opcode=(flags >> 11) & 0xF,
+            authoritative=bool(flags & 0x0400),
+            truncated=bool(flags & 0x0200),
+            recursion_desired=bool(flags & 0x0100),
+            recursion_available=bool(flags & 0x0080),
+            rcode=flags & 0xF,
+        )
+        offset = 12
+        for _ in range(counts[0]):
+            name, offset = decode_name(data, offset)
+            qtype = int.from_bytes(data[offset : offset + 2], "big")
+            qclass = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            offset += 4
+            message.questions.append(DnsQuestion(name, qtype, qclass))
+        for section, count in zip(
+            (message.answers, message.authority, message.additional), counts[1:]
+        ):
+            for _ in range(count):
+                name, offset = decode_name(data, offset)
+                rtype = int.from_bytes(data[offset : offset + 2], "big")
+                rclass = int.from_bytes(data[offset + 2 : offset + 4], "big")
+                ttl = int.from_bytes(data[offset + 4 : offset + 8], "big")
+                rdlength = int.from_bytes(data[offset + 8 : offset + 10], "big")
+                rdata = data[offset + 10 : offset + 10 + rdlength]
+                if len(rdata) != rdlength:
+                    raise ValueError("truncated RDATA")
+                offset += 10 + rdlength
+                section.append(DnsRecord(name, rtype, ttl, rdata, rclass))
+        return message
+
+
+def frame_tcp(message: DnsMessage) -> bytes:
+    """Wrap a message with the 2-byte length prefix of DNS-over-TCP."""
+    raw = message.to_bytes()
+    if len(raw) > 0xFFFF:
+        raise ValueError("DNS message too large for TCP framing")
+    return len(raw).to_bytes(2, "big") + raw
+
+
+def unframe_tcp(buffer: bytes) -> Tuple[List[DnsMessage], bytes]:
+    """Extract complete messages from a TCP byte stream.
+
+    Returns the decoded messages and the unconsumed remainder.
+    """
+    messages: List[DnsMessage] = []
+    while len(buffer) >= 2:
+        length = int.from_bytes(buffer[0:2], "big")
+        if len(buffer) < 2 + length:
+            break
+        messages.append(DnsMessage.from_bytes(buffer[2 : 2 + length]))
+        buffer = buffer[2 + length :]
+    return messages, buffer

@@ -1,0 +1,57 @@
+"""Ethernet II frames."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.netsim.addresses import MacAddress
+
+ETHERTYPE_IPV4 = 0x0800
+
+HEADER_BYTES = 14  # dst(6) + src(6) + ethertype(2)
+#: Frame check sequence; counted in wire size so link timing matches reality.
+FCS_BYTES = 4
+MIN_PAYLOAD_BYTES = 46
+
+
+class EthernetFrame:
+    """An Ethernet II frame carrying a structured payload (usually IPv4)."""
+
+    __slots__ = ("dst", "src", "ethertype", "payload")
+
+    def __init__(self, dst: MacAddress, src: MacAddress, payload: Any, ethertype: int = ETHERTYPE_IPV4):
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+        self.payload = payload
+
+    def wire_size(self) -> int:
+        payload_size = self.payload.wire_size() if hasattr(self.payload, "wire_size") else len(self.payload)
+        return HEADER_BYTES + max(payload_size, MIN_PAYLOAD_BYTES) + FCS_BYTES
+
+    def to_bytes(self) -> bytes:
+        payload = self.payload.to_bytes() if hasattr(self.payload, "to_bytes") else bytes(self.payload)
+        if len(payload) < MIN_PAYLOAD_BYTES:
+            payload += b"\x00" * (MIN_PAYLOAD_BYTES - len(payload))
+        return (
+            self.dst.to_bytes()
+            + self.src.to_bytes()
+            + self.ethertype.to_bytes(2, "big")
+            + payload
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, payload_parser: Optional[Any] = None) -> "EthernetFrame":
+        """Parse a frame; ``payload_parser`` (e.g. ``IPv4Packet.from_bytes``)
+        decodes the payload, otherwise it stays raw bytes."""
+        if len(data) < HEADER_BYTES:
+            raise ValueError(f"truncated Ethernet frame: {len(data)} bytes")
+        dst = MacAddress.from_bytes(data[0:6])
+        src = MacAddress.from_bytes(data[6:12])
+        ethertype = int.from_bytes(data[12:14], "big")
+        raw_payload = data[HEADER_BYTES:]
+        payload = payload_parser(raw_payload) if payload_parser else raw_payload
+        return cls(dst, src, payload, ethertype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Eth {self.src}->{self.dst} type={self.ethertype:#06x} {self.payload!r}>"

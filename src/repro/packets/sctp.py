@@ -1,0 +1,150 @@
+"""SCTP packets (RFC 4960), minimal but wire-accurate.
+
+Only what the SCTP connectivity test needs: the common header, CRC-32c
+checksum, and the INIT / INIT-ACK / COOKIE-ECHO / COOKIE-ACK / DATA / SACK /
+ABORT chunks of a single-stream association.
+
+The crucial property for the study (§4.4): the SCTP checksum covers only the
+SCTP packet — *not* an IP pseudo-header — so an association survives a
+gateway that rewrites the IP source address and nothing else.  That is
+exactly why 18 of 34 devices pass SCTP while none pass DCCP.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+from typing import List, Optional
+
+from repro.packets.checksum import crc32c
+from repro.packets.ipv4 import PAYLOAD_PARSERS, PROTO_SCTP
+
+SCTP_DATA = 0
+SCTP_INIT = 1
+SCTP_INIT_ACK = 2
+SCTP_SACK = 3
+SCTP_ABORT = 6
+SCTP_COOKIE_ECHO = 10
+SCTP_COOKIE_ACK = 11
+
+COMMON_HEADER_BYTES = 12
+CHUNK_HEADER_BYTES = 4
+
+_CHUNK_NAMES = {
+    SCTP_DATA: "DATA",
+    SCTP_INIT: "INIT",
+    SCTP_INIT_ACK: "INIT-ACK",
+    SCTP_SACK: "SACK",
+    SCTP_ABORT: "ABORT",
+    SCTP_COOKIE_ECHO: "COOKIE-ECHO",
+    SCTP_COOKIE_ACK: "COOKIE-ACK",
+}
+
+
+class SctpChunk:
+    """One SCTP chunk (type, flags, value)."""
+
+    __slots__ = ("chunk_type", "flags", "value")
+
+    def __init__(self, chunk_type: int, value: bytes = b"", flags: int = 0):
+        self.chunk_type = chunk_type
+        self.flags = flags
+        self.value = value
+
+    def wire_size(self) -> int:
+        size = CHUNK_HEADER_BYTES + len(self.value)
+        if size % 4:
+            size += 4 - size % 4  # chunks are padded to 32-bit boundaries
+        return size
+
+    def to_bytes(self) -> bytes:
+        length = CHUNK_HEADER_BYTES + len(self.value)
+        raw = bytes([self.chunk_type, self.flags]) + length.to_bytes(2, "big") + self.value
+        if len(raw) % 4:
+            raw += b"\x00" * (4 - len(raw) % 4)
+        return raw
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = _CHUNK_NAMES.get(self.chunk_type, str(self.chunk_type))
+        return f"<SctpChunk {name} len={len(self.value)}>"
+
+
+class SctpPacket:
+    """An SCTP packet: common header + chunks, checksummed with CRC-32c."""
+
+    __slots__ = ("src_port", "dst_port", "verification_tag", "chunks", "checksum")
+
+    def __init__(
+        self,
+        src_port: int,
+        dst_port: int,
+        verification_tag: int,
+        chunks: List[SctpChunk],
+        checksum: Optional[int] = None,
+    ):
+        for port in (src_port, dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"port out of range: {port}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.verification_tag = verification_tag & 0xFFFFFFFF
+        self.chunks = chunks
+        self.checksum = checksum
+
+    def wire_size(self) -> int:
+        return COMMON_HEADER_BYTES + sum(chunk.wire_size() for chunk in self.chunks)
+
+    def _serialize(self, checksum: int) -> bytes:
+        header = self.src_port.to_bytes(2, "big") + self.dst_port.to_bytes(2, "big")
+        header += self.verification_tag.to_bytes(4, "big")
+        header += checksum.to_bytes(4, "big")
+        return header + b"".join(chunk.to_bytes() for chunk in self.chunks)
+
+    def compute_checksum(self, _src_ip: IPv4Address = None, _dst_ip: IPv4Address = None) -> int:
+        """CRC-32c over the packet with a zeroed checksum field.
+
+        The IP addresses are accepted (and ignored) so callers can treat all
+        transports uniformly; SCTP deliberately has no pseudo-header.
+        """
+        return crc32c(self._serialize(0))
+
+    def fill_checksum(self, src_ip: IPv4Address = None, dst_ip: IPv4Address = None) -> None:
+        self.checksum = self.compute_checksum(src_ip, dst_ip)
+
+    def checksum_ok(self) -> bool:
+        if self.checksum is None:
+            return False
+        return self.checksum == self.compute_checksum()
+
+    def to_bytes(self) -> bytes:
+        return self._serialize(self.checksum or 0)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SctpPacket":
+        if len(data) < COMMON_HEADER_BYTES:
+            raise ValueError(f"truncated SCTP packet: {len(data)} bytes")
+        src_port = int.from_bytes(data[0:2], "big")
+        dst_port = int.from_bytes(data[2:4], "big")
+        tag = int.from_bytes(data[4:8], "big")
+        checksum = int.from_bytes(data[8:12], "big")
+        chunks: List[SctpChunk] = []
+        offset = COMMON_HEADER_BYTES
+        while offset + CHUNK_HEADER_BYTES <= len(data):
+            chunk_type = data[offset]
+            flags = data[offset + 1]
+            length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            if length < CHUNK_HEADER_BYTES:
+                raise ValueError(f"bad SCTP chunk length: {length}")
+            value = data[offset + CHUNK_HEADER_BYTES : offset + length]
+            chunks.append(SctpChunk(chunk_type, value, flags))
+            padded = length + (4 - length % 4) % 4
+            offset += padded
+        return cls(src_port, dst_port, tag, chunks, checksum)
+
+    def copy(self) -> "SctpPacket":
+        return SctpPacket(self.src_port, self.dst_port, self.verification_tag, list(self.chunks), self.checksum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SCTP {self.src_port}->{self.dst_port} tag={self.verification_tag:#x} {self.chunks!r}>"
+
+
+PAYLOAD_PARSERS[PROTO_SCTP] = SctpPacket.from_bytes

@@ -1,0 +1,73 @@
+"""UDP datagrams (RFC 768)."""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+from typing import Optional
+
+from repro.packets.checksum import internet_checksum, pseudo_header
+from repro.packets.ipv4 import PAYLOAD_PARSERS, PROTO_UDP
+
+HEADER_BYTES = 8
+
+
+class UdpDatagram:
+    """A UDP datagram.  The checksum covers the IPv4 pseudo-header."""
+
+    __slots__ = ("src_port", "dst_port", "payload", "checksum")
+
+    def __init__(self, src_port: int, dst_port: int, payload: bytes = b"", checksum: Optional[int] = None):
+        for port in (src_port, dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"port out of range: {port}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = payload
+        self.checksum = checksum
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + len(self.payload)
+
+    def _header(self, checksum: int) -> bytes:
+        return (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.wire_size().to_bytes(2, "big")
+            + checksum.to_bytes(2, "big")
+        )
+
+    def compute_checksum(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> int:
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, self.wire_size())
+        checksum = internet_checksum(pseudo + self._header(0) + self.payload)
+        # RFC 768: an all-zero computed checksum is transmitted as 0xFFFF.
+        return checksum or 0xFFFF
+
+    def fill_checksum(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> None:
+        self.checksum = self.compute_checksum(src_ip, dst_ip)
+
+    def checksum_ok(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> bool:
+        if self.checksum is None:
+            return False
+        return self.checksum == self.compute_checksum(src_ip, dst_ip)
+
+    def to_bytes(self) -> bytes:
+        return self._header(self.checksum or 0) + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UdpDatagram":
+        if len(data) < HEADER_BYTES:
+            raise ValueError(f"truncated UDP datagram: {len(data)} bytes")
+        src_port = int.from_bytes(data[0:2], "big")
+        dst_port = int.from_bytes(data[2:4], "big")
+        length = int.from_bytes(data[4:6], "big")
+        checksum = int.from_bytes(data[6:8], "big")
+        return cls(src_port, dst_port, data[HEADER_BYTES:length], checksum)
+
+    def copy(self) -> "UdpDatagram":
+        return UdpDatagram(self.src_port, self.dst_port, self.payload, self.checksum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<UDP {self.src_port}->{self.dst_port} len={len(self.payload)}>"
+
+
+PAYLOAD_PARSERS[PROTO_UDP] = UdpDatagram.from_bytes

@@ -1,0 +1,31 @@
+"""Host protocol stacks: everything an endpoint on the testbed speaks.
+
+:class:`Host` is a multi-interface endpoint node with routing, UDP and TCP
+sockets, ICMP handling, DHCP client/server services, DNS resolver/server and
+minimal SCTP/DCCP endpoints — the union of what the paper's *test client*
+and *test server* machines (Linux 2.6.26) needed to do.
+"""
+
+from repro.protocols.stack import Host, Route
+from repro.protocols.udp import UdpSocket
+from repro.protocols.tcp import TcpConnection, TcpListener, TCP_DEFAULT_MSS
+from repro.protocols.dhcp import DhcpClientService, DhcpServerService, Lease
+from repro.protocols.dns import DnsAuthoritativeServer, DnsStubResolver
+from repro.protocols.sctp import SctpAssociation
+from repro.protocols.dccp import DccpConnection
+
+__all__ = [
+    "Host",
+    "Route",
+    "UdpSocket",
+    "TcpConnection",
+    "TcpListener",
+    "TCP_DEFAULT_MSS",
+    "DhcpClientService",
+    "DhcpServerService",
+    "Lease",
+    "DnsAuthoritativeServer",
+    "DnsStubResolver",
+    "SctpAssociation",
+    "DccpConnection",
+]

@@ -1,0 +1,200 @@
+"""Minimal DCCP endpoints (RFC 4340): enough to attempt a connection.
+
+Request → Response → Ack establishes; Data flows after that.  Receivers
+verify the checksum, which covers an IPv4 pseudo-header — so a NAT that
+rewrites addresses without fixing the DCCP checksum produces packets a real
+endpoint discards.  That detail is what makes every gateway in the study
+fail the DCCP test while 18 pass SCTP.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.netsim.node import Interface
+from repro.packets.dccp import (
+    DCCP_ACK,
+    DCCP_DATA,
+    DCCP_REQUEST,
+    DCCP_RESET,
+    DCCP_RESPONSE,
+    DccpPacket,
+)
+from repro.packets.ipv4 import PROTO_DCCP, IPv4Packet
+from repro.protocols.ports import EphemeralPortAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocols.stack import Host
+
+REQUEST_TIMEOUT = 1.0
+MAX_REQUEST_RETRIES = 3
+
+CLOSED = "CLOSED"
+REQUESTING = "REQUESTING"
+ESTABLISHED = "ESTABLISHED"
+
+
+class DccpConnection:
+    """One DCCP connection endpoint."""
+
+    def __init__(
+        self,
+        manager: "DccpManager",
+        local_ip: IPv4Address,
+        local_port: int,
+        remote_ip: IPv4Address,
+        remote_port: int,
+        iface_index: Optional[int] = None,
+    ):
+        self.manager = manager
+        self.host = manager.host
+        self.sim = manager.host.sim
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.iface_index = iface_index
+        self.state = CLOSED
+        self.seq = self.sim.rng.randrange(0, 1 << 48)
+        self.peer_seq = 0
+        self.service_code = 0
+        self.on_established: Optional[Callable[["DccpConnection"], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_failed: Optional[Callable[[str], None]] = None
+        self._retries = 0
+        self._timer = self.sim.timer(self._on_timeout)
+
+    @property
+    def key(self) -> Tuple[IPv4Address, int, IPv4Address, int]:
+        return (self.local_ip, self.local_port, self.remote_ip, self.remote_port)
+
+    def _emit(self, packet_type: int, payload: bytes = b"", ack: Optional[int] = None) -> None:
+        self.seq = (self.seq + 1) & 0xFFFFFFFFFFFF
+        dccp = DccpPacket(
+            self.local_port,
+            self.remote_port,
+            packet_type,
+            self.seq,
+            ack=ack,
+            service_code=self.service_code,
+            payload=payload,
+        )
+        packet = IPv4Packet(self.local_ip, self.remote_ip, PROTO_DCCP, dccp)
+        packet.fill_checksums()
+        self.host.send_ip_routed(packet, self.iface_index)
+
+    def open_active(self, service_code: int = 0) -> None:
+        self.service_code = service_code
+        self.state = REQUESTING
+        self._retries = 0
+        self._send_request()
+
+    def _send_request(self) -> None:
+        self._emit(DCCP_REQUEST)
+        self._timer.restart(REQUEST_TIMEOUT)
+
+    def send(self, data: bytes) -> None:
+        if self.state != ESTABLISHED:
+            raise RuntimeError(f"connection not established (state={self.state})")
+        self._emit(DCCP_DATA, payload=data)
+
+    def reset(self) -> None:
+        if self.state != CLOSED:
+            self._emit(DCCP_RESET, ack=self.peer_seq)
+        self._fail("reset")
+
+    def _fail(self, reason: str) -> None:
+        previous = self.state
+        self.state = CLOSED
+        self._timer.cancel()
+        self.manager.forget(self)
+        if previous != CLOSED and self.on_failed is not None:
+            self.on_failed(reason)
+
+    def _on_timeout(self) -> None:
+        if self.state != REQUESTING:
+            return
+        self._retries += 1
+        if self._retries > MAX_REQUEST_RETRIES:
+            self._fail("timeout")
+            return
+        self._send_request()
+
+    def handle(self, packet: IPv4Packet, dccp: DccpPacket) -> None:
+        self.peer_seq = dccp.seq
+        if dccp.packet_type == DCCP_RESPONSE and self.state == REQUESTING:
+            self.state = ESTABLISHED
+            self._timer.cancel()
+            self._emit(DCCP_ACK, ack=dccp.seq)
+            if self.on_established is not None:
+                self.on_established(self)
+        elif dccp.packet_type == DCCP_DATA and self.state == ESTABLISHED:
+            if self.on_data is not None:
+                self.on_data(dccp.payload)
+        elif dccp.packet_type == DCCP_RESET:
+            self._fail("reset_by_peer")
+
+
+class DccpManager:
+    """Per-host DCCP: connection table, listeners and demux."""
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        self.connections: Dict[Tuple[IPv4Address, int, IPv4Address, int], DccpConnection] = {}
+        self.listeners: Dict[int, Callable[[DccpConnection], None]] = {}
+        self._ports = EphemeralPortAllocator()
+        self.checksum_failures = 0
+
+    def listen(self, port: int, on_established: Optional[Callable[[DccpConnection], None]] = None) -> None:
+        self.listeners[port] = on_established or (lambda conn: None)
+
+    def connect(
+        self,
+        dst_ip: IPv4Address,
+        dst_port: int,
+        src_port: int = 0,
+        iface_index: Optional[int] = None,
+        src_ip: Optional[IPv4Address] = None,
+        service_code: int = 0,
+    ) -> DccpConnection:
+        if src_ip is None:
+            if iface_index is not None:
+                src_ip = self.host.interfaces[iface_index].ip
+            else:
+                src_ip = self.host.source_ip_for(dst_ip)
+        if src_ip is None:
+            raise OSError(f"no route to {dst_ip} from {self.host.name}")
+        if src_port == 0:
+            src_port = self._ports.allocate(
+                lambda p: (src_ip, p, dst_ip, dst_port) not in self.connections
+            )
+        conn = DccpConnection(self, src_ip, src_port, dst_ip, dst_port, iface_index)
+        self.connections[conn.key] = conn
+        conn.open_active(service_code)
+        return conn
+
+    def forget(self, conn: DccpConnection) -> None:
+        self.connections.pop(conn.key, None)
+
+    def handle_packet(self, packet: IPv4Packet, iface: Interface) -> None:
+        dccp = packet.payload
+        if not isinstance(dccp, DccpPacket):
+            return
+        if self.host.validate_checksums and dccp.checksum is not None:
+            if not dccp.checksum_ok(packet.src, packet.dst):
+                self.checksum_failures += 1
+                return
+        key = (packet.dst, dccp.dst_port, packet.src, dccp.src_port)
+        conn = self.connections.get(key)
+        if conn is not None:
+            conn.handle(packet, dccp)
+            return
+        if dccp.packet_type == DCCP_REQUEST and dccp.dst_port in self.listeners:
+            conn = DccpConnection(self, packet.dst, dccp.dst_port, packet.src, dccp.src_port, iface.index)
+            conn.state = ESTABLISHED
+            conn.peer_seq = dccp.seq
+            self.connections[conn.key] = conn
+            conn._emit(DCCP_RESPONSE, ack=dccp.seq)
+            on_established = self.listeners[dccp.dst_port]
+            on_established(conn)

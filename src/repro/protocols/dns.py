@@ -1,0 +1,220 @@
+"""DNS endpoints: an authoritative server and a stub resolver.
+
+The testbed's ``hiit.fi`` DNS server is a :class:`DnsAuthoritativeServer`
+serving a small zone over both UDP/53 and TCP/53.  The resolver issues
+queries over either transport — `dig`-style — which is exactly what the
+DNS-proxy tests in §3.2.3 need.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.packets.dns_codec import (
+    QTYPE_A,
+    RCODE_NXDOMAIN,
+    DnsMessage,
+    DnsRecord,
+    frame_tcp,
+    unframe_tcp,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocols.stack import Host
+    from repro.protocols.tcp import TcpConnection
+
+DNS_PORT = 53
+#: Classic DNS-over-UDP payload ceiling (RFC 1035 §4.2.1); larger answers
+#: are truncated over UDP and must be re-fetched over TCP.
+UDP_PAYLOAD_LIMIT = 512
+
+
+class DnsAuthoritativeServer:
+    """Serves a static zone over UDP and TCP."""
+
+    def __init__(self, host: "Host", zone: Optional[Dict[str, IPv4Address]] = None, iface_index: Optional[int] = None):
+        self.host = host
+        self.zone: Dict[str, IPv4Address] = dict(zone or {})
+        #: Optional bulky records (e.g. TXT blobs standing in for DNSSEC
+        #: material) that push responses past the UDP payload limit.
+        self.txt_zone: Dict[str, bytes] = {}
+        self.udp_queries = 0
+        self.tcp_queries = 0
+        self.truncated_responses = 0
+        self._udp = host.udp.bind(DNS_PORT, iface_index)
+        self._udp.on_receive = self._on_udp
+        self._listener = host.tcp.listen(DNS_PORT, on_accept=self._on_tcp_accept, iface_index=iface_index)
+
+    def add_record(self, name: str, address: IPv4Address) -> None:
+        self.zone[name.lower().rstrip(".")] = address
+
+    def add_txt_record(self, name: str, data: bytes) -> None:
+        """Attach a large TXT blob to ``name`` (forces TCP for big answers)."""
+        self.txt_zone[name.lower().rstrip(".")] = data
+
+    def _answer(self, query: DnsMessage) -> DnsMessage:
+        from repro.packets.dns_codec import QTYPE_TXT
+
+        answers = []
+        rcode = RCODE_NXDOMAIN
+        for question in query.questions:
+            name = question.name.lower().rstrip(".")
+            address = self.zone.get(name)
+            if address is not None and question.qtype == QTYPE_A:
+                answers.append(DnsRecord.a(question.name, address))
+                rcode = 0
+            blob = self.txt_zone.get(name)
+            if blob is not None and question.qtype in (QTYPE_A, QTYPE_TXT):
+                answers.append(DnsRecord(question.name, QTYPE_TXT, 300, blob))
+                rcode = 0
+        response = query.response(answers, rcode=rcode)
+        response.authoritative = True
+        return response
+
+    def _on_udp(self, payload: bytes, src_ip: IPv4Address, src_port: int) -> None:
+        try:
+            query = DnsMessage.from_bytes(payload)
+        except ValueError:
+            return
+        if query.is_response:
+            return
+        self.udp_queries += 1
+        response = self._answer(query)
+        raw = response.to_bytes()
+        if len(raw) > UDP_PAYLOAD_LIMIT:
+            # RFC 1035 §4.2.1: truncate and set TC; the client retries over TCP.
+            truncated = query.response([], rcode=0)
+            truncated.truncated = True
+            truncated.authoritative = True
+            raw = truncated.to_bytes()
+            self.truncated_responses += 1
+        self._udp.send_to(raw, src_ip, src_port)
+
+    def _on_tcp_accept(self, conn: "TcpConnection") -> None:
+        buffer = bytearray()
+
+        def on_data(data: bytes) -> None:
+            nonlocal buffer
+            buffer += data
+            messages, rest = unframe_tcp(bytes(buffer))
+            buffer = bytearray(rest)
+            for query in messages:
+                if query.is_response:
+                    continue
+                self.tcp_queries += 1
+                conn.send(frame_tcp(self._answer(query)))
+
+        conn.on_data = on_data
+
+
+class DnsStubResolver:
+    """Issues one-shot queries over UDP or TCP, callback style."""
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        self._next_txid = 1
+
+    def _txid(self) -> int:
+        txid = self._next_txid
+        self._next_txid = (self._next_txid + 1) & 0xFFFF or 1
+        return txid
+
+    def query_udp(
+        self,
+        server: IPv4Address,
+        name: str,
+        on_response: Callable[[Optional[DnsMessage]], None],
+        timeout: float = 5.0,
+        iface_index: Optional[int] = None,
+    ) -> None:
+        """Query over UDP; ``on_response(None)`` on timeout."""
+        socket = self.host.udp.bind(0, iface_index)
+        query = DnsMessage.query(name, txid=self._txid())
+        done = {"fired": False}
+
+        def finish(result: Optional[DnsMessage]) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            socket.close()
+            on_response(result)
+
+        def on_datagram(payload: bytes, src_ip: IPv4Address, src_port: int) -> None:
+            try:
+                message = DnsMessage.from_bytes(payload)
+            except ValueError:
+                return
+            if message.txid == query.txid and message.is_response:
+                finish(message)
+
+        socket.on_receive = on_datagram
+        self.host.sim.timer(finish, None).start(timeout)
+        socket.send_to(query.to_bytes(), server, DNS_PORT)
+
+    def query_tcp(
+        self,
+        server: IPv4Address,
+        name: str,
+        on_response: Callable[[Optional[DnsMessage]], None],
+        timeout: float = 10.0,
+        iface_index: Optional[int] = None,
+    ) -> None:
+        """Query over TCP (RFC 1035 framing); ``on_response(None)`` on failure."""
+        query = DnsMessage.query(name, txid=self._txid())
+        done = {"fired": False}
+        buffer = bytearray()
+
+        def finish(result: Optional[DnsMessage]) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            if conn.state != "CLOSED":
+                conn.abort()
+            on_response(result)
+
+        def on_established(c: "TcpConnection") -> None:
+            c.send(frame_tcp(query))
+
+        def on_data(data: bytes) -> None:
+            nonlocal buffer
+            buffer += data
+            messages, rest = unframe_tcp(bytes(buffer))
+            buffer = bytearray(rest)
+            for message in messages:
+                if message.txid == query.txid and message.is_response:
+                    finish(message)
+                    return
+
+        def on_close(reason: str) -> None:
+            if reason in ("refused", "timeout", "reset", "aborted"):
+                finish(None)
+
+        conn = self.host.tcp.connect(server, DNS_PORT, iface_index=iface_index)
+        conn.on_established = on_established
+        conn.on_data = on_data
+        conn.on_close = on_close
+        self.host.sim.timer(finish, None).start(timeout)
+
+    def query_auto(
+        self,
+        server: IPv4Address,
+        name: str,
+        on_response: Callable[[Optional[DnsMessage]], None],
+        timeout: float = 5.0,
+        iface_index: Optional[int] = None,
+    ) -> None:
+        """`dig`-like behaviour: query over UDP, retry over TCP on TC=1.
+
+        The resolver path a DNSSEC-era client exercises, and exactly the
+        flow that breaks behind the 20 gateways whose proxies cannot speak
+        DNS-over-TCP (§4.3).
+        """
+
+        def on_udp(message: Optional[DnsMessage]) -> None:
+            if message is not None and message.truncated:
+                self.query_tcp(server, name, on_response, timeout=timeout * 2, iface_index=iface_index)
+                return
+            on_response(message)
+
+        self.query_udp(server, name, on_udp, timeout=timeout, iface_index=iface_index)

@@ -1,0 +1,116 @@
+"""Host-side ICMP: echo responder, error generation and error demux.
+
+Incoming ICMP *errors* are matched back to the UDP socket or TCP connection
+that owns the embedded flow, the way real stacks deliver e.g. "port
+unreachable" to a connected UDP socket.  Hosts also *generate* port- and
+protocol-unreachable errors, which the study relies on ("for UDP, even
+detection of port reachability depends on ICMP messages").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.netsim.node import Interface
+from repro.packets.icmp import (
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    UNREACH_PORT,
+    UNREACH_PROTO,
+    IcmpMessage,
+)
+from repro.packets.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocols.stack import Host
+
+IcmpObserver = Callable[[IcmpMessage, IPv4Packet, Interface], None]
+
+
+class IcmpService:
+    """Per-host ICMP behaviour."""
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        #: Generate unreachable errors for closed ports / unknown protocols.
+        self.generate_errors = True
+        #: Answer echo requests.
+        self.answer_echo = True
+        #: Called for every ICMP message this host receives.
+        self.observers: List[IcmpObserver] = []
+        self.errors_received = 0
+        self.echo_replies_received = 0
+        self._echo_waiters: dict = {}
+
+    # -- receive ------------------------------------------------------------
+
+    def handle_packet(self, packet: IPv4Packet, iface: Interface) -> None:
+        message = packet.payload
+        if not isinstance(message, IcmpMessage):
+            return
+        for observer in list(self.observers):
+            observer(message, packet, iface)
+        if message.icmp_type == ICMP_ECHO_REQUEST:
+            if self.answer_echo and iface.ip is not None:
+                reply = IcmpMessage.echo_reply(message.echo_ident, message.echo_seq, message.data)
+                self.host.send_ip(IPv4Packet(iface.ip, packet.src, PROTO_ICMP, reply))
+            return
+        if message.icmp_type == ICMP_ECHO_REPLY:
+            self.echo_replies_received += 1
+            waiter = self._echo_waiters.pop((message.echo_ident, message.echo_seq), None)
+            if waiter is not None:
+                waiter(packet.src)
+            return
+        if message.is_error:
+            self.errors_received += 1
+            embedded = message.embedded
+            if embedded is None:
+                return
+            if embedded.protocol == PROTO_UDP:
+                self.host.udp.handle_icmp_error(message, embedded, iface)
+            elif embedded.protocol == PROTO_TCP:
+                self.host.tcp.handle_icmp_error(message, embedded, iface)
+
+    # -- generate -------------------------------------------------------------
+
+    def _send_error(self, icmp_type: int, code: int, offending: IPv4Packet, iface: Interface) -> None:
+        if not self.generate_errors or iface.ip is None:
+            return
+        error = IcmpMessage.error(icmp_type, code, offending)
+        self.host.send_ip(IPv4Packet(iface.ip, offending.src, PROTO_ICMP, error))
+
+    def port_unreachable(self, offending: IPv4Packet, iface: Interface) -> None:
+        self._send_error(ICMP_DEST_UNREACH, UNREACH_PORT, offending, iface)
+
+    def protocol_unreachable(self, offending: IPv4Packet, iface: Interface) -> None:
+        self._send_error(ICMP_DEST_UNREACH, UNREACH_PROTO, offending, iface)
+
+    # -- ping -----------------------------------------------------------------
+
+    def ping(
+        self,
+        dst: "IPv4Packet.dst",
+        ident: int = 1,
+        seq: int = 1,
+        data: bytes = b"",
+        on_reply: Optional[Callable] = None,
+        record_route: bool = False,
+    ) -> bool:
+        """Send one echo request; ``on_reply(src_ip)`` fires on the reply."""
+        src = self.host.source_ip_for(dst)
+        if src is None:
+            return False
+        if on_reply is not None:
+            self._echo_waiters[(ident, seq)] = on_reply
+        request = IcmpMessage.echo_request(ident, seq, data)
+        from repro.packets.ipv4 import RecordRouteOption
+
+        packet = IPv4Packet(
+            src,
+            dst,
+            PROTO_ICMP,
+            request,
+            record_route=RecordRouteOption() if record_route else None,
+        )
+        return self.host.send_ip(packet)

@@ -1,0 +1,36 @@
+"""Ephemeral port allocation shared by every transport."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+EPHEMERAL_LOW = 32768
+EPHEMERAL_HIGH = 61000
+
+
+class EphemeralPortAllocator:
+    """Sequential ephemeral ports in the classic Linux range.
+
+    Sequential (not random) allocation keeps simulations reproducible and
+    matches the paper-era Linux default.  The allocator wraps around and
+    skips ports the caller says are taken.
+    """
+
+    def __init__(self, low: int = EPHEMERAL_LOW, high: int = EPHEMERAL_HIGH):
+        if not 0 < low < high <= 65535:
+            raise ValueError(f"bad ephemeral range {low}..{high}")
+        self.low = low
+        self.high = high
+        self._next = low
+
+    def allocate(self, usable: Callable[[int], bool]) -> int:
+        """Return the next port for which ``usable(port)`` is true."""
+        span = self.high - self.low + 1
+        for _ in range(span):
+            port = self._next
+            self._next += 1
+            if self._next > self.high:
+                self._next = self.low
+            if usable(port):
+                return port
+        raise OSError("ephemeral port range exhausted")

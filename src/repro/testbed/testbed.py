@@ -1,0 +1,165 @@
+"""Builds the Figure-1 topology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import IPv4Address, IPv4Network
+from typing import Dict, List, Optional, Sequence
+
+from repro.devices.profile import DeviceProfile
+from repro.gateway.device import HomeGateway
+from repro.netsim.addresses import mac_allocator
+from repro.netsim.link import Link
+from repro.netsim.sim import Simulation
+from repro.netsim.switch import VlanSwitch
+from repro.protocols.dhcp import DhcpClientService, DhcpServerService
+from repro.protocols.dns import DnsAuthoritativeServer
+from repro.protocols.stack import Host
+
+LINK_RATE_BPS = 100e6  # the testbed's 100 Mb/s Ethernet
+LINK_DELAY = 25e-6
+
+#: Default zone served by the testbed's DNS server (the paper's hiit.fi).
+DEFAULT_ZONE_NAME = "test.hiit.fi"
+#: The canonical answer for the default name (TEST-NET-1 documentation space).
+DEFAULT_ZONE_ANSWER = IPv4Address("192.0.2.80")
+
+
+@dataclass
+class GatewayPort:
+    """Everything attached to one gateway slot ``n``."""
+
+    index: int
+    profile: DeviceProfile
+    gateway: HomeGateway
+    wan_network: IPv4Network
+    lan_network: IPv4Network
+    server_ip: IPv4Address
+    server_iface_index: int
+    client_iface_index: int
+    client_dhcp: Optional[DhcpClientService] = None
+
+    @property
+    def tag(self) -> str:
+        return self.profile.tag
+
+
+class Testbed:
+    """The assembled testbed: server, switches, gateways, client."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, sim: Simulation, profiles: Sequence[DeviceProfile]):
+        self.sim = sim
+        self.macs = mac_allocator()
+        self.server = Host(sim, "test-server", self.macs)
+        self.client = Host(sim, "test-client", self.macs)
+        # §4.4: some devices share one MAC between WAN and LAN ports, which
+        # forces physically separate switches — so the testbed uses two.
+        self.wan_switch = VlanSwitch(sim, "wan-switch", self.macs)
+        self.lan_switch = VlanSwitch(sim, "lan-switch", self.macs)
+        self.ports: Dict[str, GatewayPort] = {}
+        self.dns_zone = DnsAuthoritativeServer(self.server, {DEFAULT_ZONE_NAME: DEFAULT_ZONE_ANSWER})
+        for number, profile in enumerate(profiles, start=1):
+            self._add_gateway(number, profile)
+
+    @classmethod
+    def build(cls, profiles: Sequence[DeviceProfile], seed: int = 0) -> "Testbed":
+        """Construct the testbed and bring every gateway and client VLAN up."""
+        bed = cls(Simulation(seed=seed), profiles)
+        bed.bring_up()
+        return bed
+
+    # -- construction -----------------------------------------------------
+
+    def _add_gateway(self, number: int, profile: DeviceProfile) -> None:
+        if profile.tag in self.ports:
+            raise ValueError(f"duplicate device tag {profile.tag!r}")
+        wan_network = IPv4Network(f"10.0.{number}.0/24")
+        lan_network = IPv4Network(f"192.168.{number}.0/24")
+        server_ip = IPv4Address(f"10.0.{number}.1")
+
+        # Server side: one VLAN interface + per-VLAN DHCP service + DNS A record.
+        server_iface = self.server.new_interface()
+        server_iface.configure(server_ip, wan_network)
+        Link(self.sim, LINK_RATE_BPS, LINK_DELAY).attach(
+            server_iface, self.wan_switch.new_port(1000 + number)
+        )
+        DhcpServerService(
+            self.server,
+            server_iface.index,
+            wan_network,
+            server_ip,
+            router=server_ip,
+            dns_servers=[server_ip],
+            first_offset=2,
+        )
+        self.dns_zone.add_record(f"vlan{number}.{DEFAULT_ZONE_NAME}", server_ip)
+
+        # The gateway between the two switches.
+        gateway = HomeGateway(self.sim, profile, self.macs, lan_network=lan_network)
+        Link(self.sim, LINK_RATE_BPS, LINK_DELAY).attach(
+            gateway.wan_iface, self.wan_switch.new_port(1000 + number)
+        )
+        Link(self.sim, LINK_RATE_BPS, LINK_DELAY).attach(
+            gateway.lan_iface, self.lan_switch.new_port(2000 + number)
+        )
+
+        # Client side: one VLAN interface, configured later by the gateway's
+        # DHCP server (interface-specific routes only).
+        client_iface = self.client.new_interface()
+        Link(self.sim, LINK_RATE_BPS, LINK_DELAY).attach(
+            client_iface, self.lan_switch.new_port(2000 + number)
+        )
+
+        self.ports[profile.tag] = GatewayPort(
+            index=number,
+            profile=profile,
+            gateway=gateway,
+            wan_network=wan_network,
+            lan_network=lan_network,
+            server_ip=server_ip,
+            server_iface_index=server_iface.index,
+            client_iface_index=client_iface.index,
+        )
+
+    # -- bring-up -------------------------------------------------------------
+
+    def bring_up(self, timeout: float = 60.0) -> None:
+        """DHCP-configure every gateway WAN and every client VLAN interface."""
+        for port in self.ports.values():
+            def gateway_ready(gw: HomeGateway, port: GatewayPort = port) -> None:
+                client = DhcpClientService(self.client, port.client_iface_index)
+                port.client_dhcp = client
+                client.start()
+
+            port.gateway.start(on_ready=gateway_ready)
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if all(p.client_dhcp is not None and p.client_dhcp.configured for p in self.ports.values()):
+                break
+            if not self.sim.step():
+                break
+        not_up = [p.tag for p in self.ports.values() if p.client_dhcp is None or not p.client_dhcp.configured]
+        if not_up:
+            raise RuntimeError(f"testbed bring-up failed for: {not_up}")
+
+    # -- accessors ---------------------------------------------------------------
+
+    def port(self, tag: str) -> GatewayPort:
+        return self.ports[tag]
+
+    def tags(self) -> List[str]:
+        return list(self.ports)
+
+    def client_iface(self, tag: str):
+        return self.client.interfaces[self.ports[tag].client_iface_index]
+
+    def client_ip(self, tag: str) -> IPv4Address:
+        ip = self.client_iface(tag).ip
+        if ip is None:
+            raise RuntimeError(f"client interface for {tag} not configured")
+        return ip
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Testbed {len(self.ports)} gateways at t={self.sim.now:.3f}>"

@@ -1,0 +1,61 @@
+"""The coordination daemons (the paper's ``testrund``).
+
+The physical testbed coordinated client and server over a dedicated
+management link so that control traffic never crossed the gateways under
+test.  :class:`ManagementChannel` plays that role here: it delivers control
+messages between the two testrund instances after a small fixed latency,
+via the simulator — never through the data network.
+
+Measurements use :class:`Testrund` to schedule actions on the *other* host
+("when your sleep timer expires, tell the server to send a response packet
+back through the home gateway", §3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.netsim.sim import Simulation
+
+#: Latency of the dedicated management link.  Small but nonzero, so control
+#: ordering is realistic; negligible against the 1 s convergence target.
+MANAGEMENT_LATENCY = 0.001
+
+
+class ManagementChannel:
+    """Bidirectional out-of-band control channel."""
+
+    def __init__(self, sim: Simulation, latency: float = MANAGEMENT_LATENCY):
+        self.sim = sim
+        self.latency = latency
+        self.messages_delivered = 0
+
+    def call(self, handler: Callable[..., None], *args: Any) -> None:
+        """Invoke ``handler(*args)`` on the far side after the link latency."""
+        self.messages_delivered += 1
+        self.sim.schedule(self.latency, handler, *args)
+
+
+class Testrund:
+    """One coordination daemon: named handlers reachable over management."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, name: str, channel: ManagementChannel):
+        self.name = name
+        self.channel = channel
+        self._handlers: Dict[str, Callable[..., None]] = {}
+
+    def register(self, command: str, handler: Callable[..., None]) -> None:
+        """Expose ``handler`` under ``command`` to the peer daemon."""
+        self._handlers[command] = handler
+
+    def unregister(self, command: str) -> None:
+        self._handlers.pop(command, None)
+
+    def invoke(self, command: str, *args: Any) -> None:
+        """Called by the *peer*: run a registered handler after link latency."""
+        handler = self._handlers.get(command)
+        if handler is None:
+            raise KeyError(f"testrund {self.name!r} has no handler {command!r}")
+        self.channel.call(handler, *args)

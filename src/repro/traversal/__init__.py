@@ -1,0 +1,40 @@
+"""NAT traversal: STUN-style probing and UDP hole punching.
+
+§5 of the paper lists "measuring the success rates of STUN, TURN and ICE"
+as planned work; this package implements the UDP side of that plan on top
+of the library:
+
+* :mod:`repro.traversal.stun` — a compact STUN-like binding protocol
+  (request → mapped-address response, plus the change-port probe the
+  RFC 3489 classification needs), and the classification algorithm.
+* :mod:`repro.traversal.holepunch` — Ford/Srisuresh/Kegel-style UDP hole
+  punching between two clients behind two different gateways, with a
+  rendezvous server on the WAN side.
+"""
+
+from repro.traversal.stun import (
+    MappedAddress,
+    StunClassification,
+    StunClient,
+    StunServer,
+    classify,
+)
+from repro.traversal.holepunch import HolePunchOutcome, HolePunchExperiment
+from repro.traversal.ice import IceLiteSession, IceOutcome
+from repro.traversal.relay import RelayServer
+from repro.traversal.tcp_punch import TcpHolePunchExperiment, TcpPunchOutcome
+
+__all__ = [
+    "IceLiteSession",
+    "IceOutcome",
+    "RelayServer",
+    "TcpHolePunchExperiment",
+    "TcpPunchOutcome",
+    "MappedAddress",
+    "StunClassification",
+    "StunClient",
+    "StunServer",
+    "classify",
+    "HolePunchOutcome",
+    "HolePunchExperiment",
+]

@@ -1,0 +1,136 @@
+"""UDP hole punching between two gateways (Ford, Srisuresh, Kegel 2005).
+
+Two peers sit behind two different gateways of the testbed (two VLAN
+interfaces of the test client).  A rendezvous service on the WAN side
+learns each peer's *reflexive* endpoint via STUN-style registration, swaps
+them, and both peers then fire probes at each other's reflexive endpoint
+simultaneously — each outbound probe opens (or reuses) a binding that the
+peer's probes can fall into.
+
+Success requires endpoint-independent *mapping* on both sides (the
+registration binding must be reachable from a third party); filtering is
+defeated by the simultaneous outbound probes.  Symmetric NATs allocate a
+fresh port toward the peer, so the advertised reflexive endpoint is wrong
+and punching fails — the classic result this experiment reproduces.
+
+The WAN path between the two gateways is routed by the test server
+(``bed.server.ip_forwarding`` is switched on by the experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import IPv4Address
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.core.runtime import Future, SimTask, run_tasks
+from repro.testbed.testbed import Testbed
+from repro.traversal.stun import MappedAddress, StunClient, StunServer
+
+RENDEZVOUS_PORT = 3478
+PUNCH_ATTEMPTS = 5
+PUNCH_INTERVAL = 0.2
+PUNCH_TIMEOUT = 5.0
+
+
+@dataclass
+class HolePunchOutcome:
+    """Result of one pairing attempt."""
+
+    tag_a: str
+    tag_b: str
+    success: bool
+    a_reached_b: bool
+    b_reached_a: bool
+    reflexive_a: Optional[MappedAddress] = None
+    reflexive_b: Optional[MappedAddress] = None
+
+    def __str__(self) -> str:
+        verdict = "SUCCESS" if self.success else "FAIL"
+        return f"{self.tag_a} <-> {self.tag_b}: {verdict} (a->b={self.a_reached_b}, b->a={self.b_reached_a})"
+
+
+class _Peer:
+    """One endpoint behind one gateway."""
+
+    def __init__(self, bed: Testbed, tag: str):
+        self.bed = bed
+        self.tag = tag
+        self.port = bed.port(tag)
+        self.stun = StunClient(bed.client, iface_index=self.port.client_iface_index)
+        self.got_punch = Future(timeout=PUNCH_TIMEOUT)
+        self.got_reply = Future(timeout=PUNCH_TIMEOUT)
+        inner = self.stun.socket.on_receive
+
+        def on_receive(payload: bytes, src_ip: IPv4Address, src_port: int) -> None:
+            if payload.startswith(b"PUNCH:"):
+                self.got_punch.set_result((src_ip, src_port))
+                # Answer so the other side confirms bidirectional flow.
+                self.stun.socket.send_to(b"REPLY:" + payload[6:], src_ip, src_port)
+                return
+            if payload.startswith(b"REPLY:"):
+                self.got_reply.set_result((src_ip, src_port))
+                return
+            if inner is not None:
+                inner(payload, src_ip, src_port)
+
+        self.stun.socket.on_receive = on_receive
+
+    def close(self) -> None:
+        self.stun.close()
+
+
+class HolePunchExperiment:
+    """Runs hole-punching attempts across device pairs."""
+
+    def __init__(self, bed: Testbed):
+        self.bed = bed
+        # The WAN side must route between the per-device VLANs.
+        bed.server.ip_forwarding = True
+        self.server = StunServer(bed.server, RENDEZVOUS_PORT, RENDEZVOUS_PORT + 1)
+
+    def attempt(self, tag_a: str, tag_b: str) -> HolePunchOutcome:
+        """One rendezvous + punch between the clients behind two gateways."""
+        peer_a = _Peer(self.bed, tag_a)
+        peer_b = _Peer(self.bed, tag_b)
+        outcome = HolePunchOutcome(tag_a, tag_b, False, False, False)
+
+        def procedure() -> Generator:
+            # 1. Both peers register with the rendezvous server (each via its
+            #    own gateway's VLAN server address).
+            reflexive_a = yield peer_a.stun.request(peer_a.port.server_ip, RENDEZVOUS_PORT)
+            reflexive_b = yield peer_b.stun.request(peer_b.port.server_ip, RENDEZVOUS_PORT)
+            if reflexive_a is None or reflexive_b is None:
+                return
+            outcome.reflexive_a = reflexive_a
+            outcome.reflexive_b = reflexive_b
+            # 2. The rendezvous swaps endpoints; both peers punch
+            #    simultaneously toward the other's reflexive address.
+            for attempt in range(PUNCH_ATTEMPTS):
+                marker = f"{attempt}".encode()
+                peer_a.stun.socket.send_to(b"PUNCH:" + marker, reflexive_b.ip, reflexive_b.port)
+                peer_b.stun.socket.send_to(b"PUNCH:" + marker, reflexive_a.ip, reflexive_a.port)
+                yield PUNCH_INTERVAL
+            # 3. Wait out the probe window.
+            a_heard = yield peer_a.got_punch
+            b_heard = yield peer_b.got_punch
+            outcome.a_reached_b = b_heard is not None
+            outcome.b_reached_a = a_heard is not None
+            outcome.success = outcome.a_reached_b and outcome.b_reached_a
+
+        run_tasks(self.bed.sim, [SimTask(self.bed.sim, procedure(), name=f"punch:{tag_a}-{tag_b}")])
+        peer_a.close()
+        peer_b.close()
+        return outcome
+
+    def matrix(self, tags) -> Dict[Tuple[str, str], HolePunchOutcome]:
+        """All unordered pairs among ``tags``."""
+        outcomes = {}
+        tags = list(tags)
+        for i, tag_a in enumerate(tags):
+            for tag_b in tags[i + 1 :]:
+                outcomes[(tag_a, tag_b)] = self.attempt(tag_a, tag_b)
+        return outcomes
+
+    def close(self) -> None:
+        self.server.close()

@@ -1,0 +1,140 @@
+"""TCP hole punching via simultaneous open (STUNT-style, §2/Guha 2005).
+
+Sequence, per Guha & Francis:
+
+1. Each peer opens a throwaway TCP connection to the rendezvous server from
+   a *chosen* local port; the server reports the reflexive (post-NAT)
+   endpoint it saw and the connection closes.
+2. The rendezvous swaps reflexive endpoints.
+3. Both peers simultaneously ``connect()`` from the *same* local port to
+   the other's reflexive endpoint.  With endpoint-independent mappings the
+   NATs reuse the discovery binding, the crossing SYNs fall into each
+   other's freshly-opened holes, and RFC 793 simultaneous open completes a
+   real TCP connection with no relay.
+
+Symmetric NATs advertise a reflexive port the punch never uses, so the SYNs
+die — reproducing why TCP traversal success rates trail UDP's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import IPv4Address
+from typing import Generator, Optional, Tuple
+
+from repro.core.runtime import Future, SimTask, run_tasks
+from repro.testbed.testbed import Testbed
+
+STUNT_PORT = 3481
+DISCOVERY_TIMEOUT = 10.0
+PUNCH_TIMEOUT = 20.0
+#: Fixed local ports the two peers punch from (distinct so one multi-homed
+#: client host can play both roles).
+LOCAL_PORT_A = 42100
+LOCAL_PORT_B = 42200
+
+
+@dataclass
+class TcpPunchOutcome:
+    tag_a: str
+    tag_b: str
+    success: bool
+    data_exchanged: bool
+    reflexive_a: Optional[Tuple[IPv4Address, int]] = None
+    reflexive_b: Optional[Tuple[IPv4Address, int]] = None
+
+    def __str__(self) -> str:
+        verdict = "SUCCESS" if self.success else "FAIL"
+        return f"tcp-punch {self.tag_a} <-> {self.tag_b}: {verdict}"
+
+
+class _StuntServer:
+    """Reports each inbound connection's remote endpoint back over it."""
+
+    def __init__(self, host, port: int = STUNT_PORT):
+        self.listener = host.tcp.listen(port, on_accept=self._on_accept)
+
+    def _on_accept(self, conn) -> None:
+        conn.send(conn.remote_ip.packed + conn.remote_port.to_bytes(2, "big"))
+        conn.close()
+
+    def close(self) -> None:
+        self.listener.close()
+
+
+class TcpHolePunchExperiment:
+    """STUNT-style TCP traversal attempts across device pairs."""
+
+    def __init__(self, bed: Testbed):
+        self.bed = bed
+        bed.server.ip_forwarding = True
+        self.server = _StuntServer(bed.server)
+
+    def _discover(self, tag: str, local_port: int) -> Generator:
+        """Learn the reflexive endpoint for ``local_port`` behind ``tag``."""
+        port = self.bed.port(tag)
+        result = Future(timeout=DISCOVERY_TIMEOUT)
+        buffer = bytearray()
+        conn = self.bed.client.tcp.connect(
+            port.server_ip, STUNT_PORT, src_port=local_port, iface_index=port.client_iface_index
+        )
+
+        def on_data(data: bytes) -> None:
+            buffer.extend(data)
+            if len(buffer) >= 6:
+                result.set_result((IPv4Address(bytes(buffer[:4])), int.from_bytes(buffer[4:6], "big")))
+
+        conn.on_data = on_data
+        conn.on_close = lambda reason: result.set_result(None) if reason in ("refused", "timeout", "reset") else None
+        reflexive = yield result
+        if conn.state != "CLOSED":
+            conn.abort()
+        # Give the NAT's transitory teardown a beat so the port is clean.
+        yield 1.5
+        return reflexive
+
+    def attempt(self, tag_a: str, tag_b: str) -> TcpPunchOutcome:
+        outcome = TcpPunchOutcome(tag_a, tag_b, False, False)
+        bed = self.bed
+        port_a, port_b = bed.port(tag_a), bed.port(tag_b)
+
+        def procedure() -> Generator:
+            reflexive_a = yield from self._discover(tag_a, LOCAL_PORT_A)
+            reflexive_b = yield from self._discover(tag_b, LOCAL_PORT_B)
+            if reflexive_a is None or reflexive_b is None:
+                return
+            outcome.reflexive_a = reflexive_a
+            outcome.reflexive_b = reflexive_b
+            # Simultaneous connect from the discovery ports.
+            established_a = Future(timeout=PUNCH_TIMEOUT)
+            established_b = Future(timeout=PUNCH_TIMEOUT)
+            data_b = Future(timeout=PUNCH_TIMEOUT + 5.0)
+            conn_a = bed.client.tcp.connect(
+                reflexive_b[0], reflexive_b[1], src_port=LOCAL_PORT_A,
+                iface_index=port_a.client_iface_index,
+            )
+            conn_b = bed.client.tcp.connect(
+                reflexive_a[0], reflexive_a[1], src_port=LOCAL_PORT_B,
+                iface_index=port_b.client_iface_index,
+            )
+            conn_a.max_syn_retries = 6
+            conn_b.max_syn_retries = 6
+            conn_a.on_established = established_a.set_result
+            conn_b.on_established = established_b.set_result
+            conn_b.on_data = data_b.set_result
+            up_a = yield established_a
+            up_b = yield established_b
+            if up_a and up_b:
+                outcome.success = True
+                conn_a.send(b"punched-over-tcp")
+                got = yield data_b
+                outcome.data_exchanged = got == b"punched-over-tcp"
+            for conn in (conn_a, conn_b):
+                if conn.state != "CLOSED":
+                    conn.abort()
+
+        run_tasks(bed.sim, [SimTask(bed.sim, procedure(), name=f"tcp-punch:{tag_a}-{tag_b}")])
+        return outcome
+
+    def close(self) -> None:
+        self.server.close()

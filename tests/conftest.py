@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address, IPv4Network
+
+import pytest
+
+from repro.devices.profile import DeviceProfile
+from repro.netsim import Link, Simulation, mac_allocator
+from repro.protocols import Host
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=7)
+
+
+@pytest.fixture
+def macs():
+    return mac_allocator()
+
+
+@pytest.fixture
+def host_pair(sim, macs):
+    """Two hosts on one /24 joined by a 100 Mb/s link."""
+    a = Host(sim, "a", macs)
+    b = Host(sim, "b", macs)
+    ia, ib = a.new_interface(), b.new_interface()
+    Link(sim, rate_bps=100e6, delay=100e-6).attach(ia, ib)
+    net = IPv4Network("10.0.0.0/24")
+    ia.configure(IPv4Address("10.0.0.1"), net)
+    ib.configure(IPv4Address("10.0.0.2"), net)
+    return a, b
+
+
+def make_profile(tag: str = "dev", **overrides) -> DeviceProfile:
+    """A default test profile with top-level overrides."""
+    return DeviceProfile(tag, "TestVendor", "TestModel", "1.0", **overrides)
+
+
+@pytest.fixture
+def profile():
+    return make_profile()

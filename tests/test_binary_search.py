@@ -1,0 +1,111 @@
+"""The modified binary search over binding lifetimes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.binary_search import BindingSearch, ParallelBindingSearch
+from repro.core.runtime import Future, SimTask, run_tasks
+from repro.netsim import Simulation
+
+
+def run_search(true_timeout, cutoff=780.0, jitter=None, precision=1.0):
+    """Drive a BindingSearch against a synthetic binding with a known
+    timeout (optionally jittered per probe, like a coarse timer wheel)."""
+    sim = Simulation(seed=3)
+    thresholds = iter(jitter or [])
+
+    def probe(sleep):
+        yield 0.001  # pretend to do network things
+        threshold = true_timeout
+        if jitter is not None:
+            threshold = true_timeout + next(thresholds)
+        return sleep < threshold
+
+    search = BindingSearch(probe, cutoff=cutoff, precision=precision)
+    task = SimTask(sim, search.run())
+    run_tasks(sim, [task])
+    return task.result
+
+
+@settings(deadline=None)
+@given(st.floats(min_value=5.0, max_value=700.0))
+def test_converges_to_true_timeout(true_timeout):
+    outcome = run_search(true_timeout)
+    assert not outcome.censored
+    assert abs(outcome.estimate - true_timeout) <= 1.0
+
+
+def test_censored_when_beyond_cutoff():
+    outcome = run_search(5000.0, cutoff=780.0)
+    assert outcome.censored
+    assert outcome.estimate is None
+    assert outcome.probes == 1  # decided by the single cutoff probe
+
+
+def test_history_records_probes():
+    outcome = run_search(100.0)
+    assert outcome.history[0] == (780.0, False)
+    assert all(isinstance(alive, bool) for _sleep, alive in outcome.history)
+
+
+def test_probe_budget_respected():
+    outcome = run_search(100.0, precision=1e-9)  # can never truly converge
+    assert outcome.probes <= 64 + 1
+
+
+def test_jittered_threshold_still_lands_in_band():
+    # Coarse-timer device: threshold varies +0..20 s per probe.
+    import random
+
+    rng = random.Random(1)
+    jitter = [rng.uniform(0, 20) for _ in range(100)]
+    outcome = run_search(60.0, jitter=jitter)
+    assert 59.0 <= outcome.estimate <= 81.0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        BindingSearch(lambda s: iter(()), cutoff=0)
+    with pytest.raises(ValueError):
+        BindingSearch(lambda s: iter(()), cutoff=10, precision=0)
+
+
+class TestParallelSearch:
+    def _run(self, true_timeout, cutoff=86400.0, fanout=8):
+        sim = Simulation(seed=5)
+
+        def spawn(sleep):
+            future = Future()
+
+            def probe():
+                yield 0.001
+                future.set_result(sleep < true_timeout)
+
+            SimTask(sim, probe())
+            return future
+
+        search = ParallelBindingSearch(spawn, cutoff=cutoff, fanout=fanout)
+        task = SimTask(sim, search.run())
+        run_tasks(sim, [task])
+        return task.result
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.floats(min_value=10.0, max_value=86000.0))
+    def test_converges(self, true_timeout):
+        outcome = self._run(true_timeout)
+        assert not outcome.censored
+        assert abs(outcome.estimate - true_timeout) <= 1.0
+
+    def test_censoring(self):
+        outcome = self._run(200_000.0)
+        assert outcome.censored
+
+    def test_fanout_probes_in_parallel(self):
+        outcome = self._run(3600.0, fanout=4)
+        # Rounds of 4 + the cutoff probe; far fewer than bisection would need
+        # sequentially for the same precision over 86400 s.
+        assert outcome.probes <= 1 + 4 * 16
+
+    def test_fanout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelBindingSearch(lambda s: Future(), cutoff=10, fanout=0)

@@ -1,0 +1,76 @@
+"""Checksum algorithms against references and RFC test vectors."""
+
+from ipaddress import IPv4Address
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.packets.checksum import (
+    crc32c,
+    internet_checksum,
+    internet_checksum_reference,
+    pseudo_header,
+)
+
+
+@given(st.binary(max_size=4096))
+def test_fast_checksum_matches_reference(data):
+    assert internet_checksum(data) == internet_checksum_reference(data)
+
+
+def test_known_rfc1071_example():
+    # The classic example from RFC 1071 §3.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+
+def test_checksum_of_empty():
+    assert internet_checksum(b"") == 0xFFFF
+
+
+def test_checksum_detects_single_bit_flip():
+    data = bytes(range(100))
+    original = internet_checksum(data)
+    corrupted = bytearray(data)
+    corrupted[10] ^= 0x01
+    assert internet_checksum(bytes(corrupted)) != original
+
+
+@given(st.binary(min_size=2, max_size=512).filter(lambda d: len(d) % 2 == 0))
+def test_message_with_inserted_checksum_sums_to_zero(data):
+    """Verifier property: appending the checksum to (16-bit aligned) data
+    makes the whole message sum to zero — how receivers verify."""
+    checksum = internet_checksum(data)
+    total = internet_checksum(data + checksum.to_bytes(2, "big"))
+    assert total == 0
+
+
+def test_pseudo_header_layout():
+    ph = pseudo_header(IPv4Address("1.2.3.4"), IPv4Address("5.6.7.8"), 17, 20)
+    assert ph == bytes([1, 2, 3, 4, 5, 6, 7, 8, 0, 17, 0, 20])
+
+
+def test_pseudo_header_validates_ranges():
+    src, dst = IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2")
+    with pytest.raises(ValueError):
+        pseudo_header(src, dst, 256, 0)
+    with pytest.raises(ValueError):
+        pseudo_header(src, dst, 6, 70000)
+
+
+def test_crc32c_known_vectors():
+    # RFC 3720 / common CRC-32c test vectors.
+    assert crc32c(b"") == 0x00000000
+    assert crc32c(b"123456789") == 0xE3069283
+    assert crc32c(bytes(32)) == 0x8A9136AA
+    assert crc32c(bytes([0xFF] * 32)) == 0x62A8AB43
+
+
+@given(st.binary(max_size=1024))
+def test_crc32c_detects_flips(data):
+    if not data:
+        return
+    original = crc32c(data)
+    corrupted = bytearray(data)
+    corrupted[0] ^= 0xFF
+    assert crc32c(bytes(corrupted)) != original

@@ -1,0 +1,67 @@
+"""End-to-end property tests: for *arbitrary* valid device policies, the
+measurement suite must rediscover the configured behaviour.
+
+These are the strongest correctness statements in the suite: nothing in the
+probes knows the profile, and nothing in the gateway knows the probes, so
+agreement can only come from the mechanics working.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import TcpBindingCapacityProbe, UdpTimeoutProbe
+from repro.devices.profile import NatPolicy, UdpTimeoutPolicy
+from repro.testbed import Testbed
+from tests.conftest import make_profile
+
+# Keep the draw space small enough that each example simulates quickly.
+timeouts = st.floats(min_value=15.0, max_value=600.0)
+
+
+@settings(deadline=None, max_examples=12, suppress_health_check=[HealthCheck.too_slow])
+@given(outbound=timeouts, extra_inbound=st.floats(min_value=0.0, max_value=120.0))
+def test_udp1_rediscovers_any_outbound_timeout(outbound, extra_inbound):
+    policy = UdpTimeoutPolicy(
+        outbound_only=outbound,
+        after_inbound=outbound + extra_inbound,
+        bidirectional=outbound + extra_inbound,
+    )
+    bed = Testbed.build([make_profile("dev", udp_timeouts=policy)])
+    result = UdpTimeoutProbe.udp1(repetitions=1).run_all(bed)["dev"]
+    assert result.samples, "measurement produced no sample"
+    assert result.samples[0] == pytest.approx(outbound, abs=1.0)
+
+
+@settings(deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow])
+@given(after_inbound=st.floats(min_value=10.0, max_value=240.0))
+def test_udp2_rediscovers_any_inbound_timeout(after_inbound):
+    policy = UdpTimeoutPolicy(
+        outbound_only=min(after_inbound, 60.0),
+        after_inbound=after_inbound,
+        bidirectional=after_inbound,
+    )
+    bed = Testbed.build([make_profile("dev", udp_timeouts=policy)])
+    result = UdpTimeoutProbe.udp2(repetitions=1).run_all(bed)["dev"]
+    assert result.samples
+    assert result.samples[0] == pytest.approx(after_inbound, abs=1.5)
+
+
+@settings(deadline=None, max_examples=8, suppress_health_check=[HealthCheck.too_slow])
+@given(cap=st.integers(min_value=4, max_value=120))
+def test_tcp4_rediscovers_any_binding_cap(cap):
+    bed = Testbed.build([make_profile("dev", nat=NatPolicy(max_tcp_bindings=cap))])
+    result = TcpBindingCapacityProbe(probe_limit=150).run_all(bed)["dev"]
+    assert result.max_bindings == cap
+
+
+@settings(deadline=None, max_examples=8, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    granularity=st.sampled_from([5.0, 10.0, 20.0]),
+    base=st.floats(min_value=30.0, max_value=120.0),
+)
+def test_coarse_timer_measurement_stays_within_one_wheel_period(granularity, base):
+    policy = UdpTimeoutPolicy(base, base + 30, base + 30, timer_granularity=granularity)
+    bed = Testbed.build([make_profile("dev", udp_timeouts=policy)])
+    result = UdpTimeoutProbe.udp1(repetitions=2).run_all(bed)["dev"]
+    for sample in result.samples:
+        assert base - 1.0 <= sample <= base + granularity + 1.0

@@ -1,0 +1,51 @@
+"""The example scripts must actually run (quick ones, in-process)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "keepalive interval" in out
+    assert "je" in out and "ls1" in out
+
+
+def test_custom_gateway_runs(capsys):
+    _load("custom_gateway").main()
+    out = capsys.readouterr().out
+    assert "PASS" in out and "FAIL" in out
+    assert "RFC4787" in out
+
+
+def test_nat_classifier_runs(capsys):
+    _load("nat_classifier").main()
+    out = capsys.readouterr().out
+    assert "symmetric" in out
+    assert "classification" in out
+
+
+def test_keepalive_advisor_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["keepalive_advisor.py", "je", "be1"])
+    _load("keepalive_advisor").main()
+    out = capsys.readouterr().out
+    assert "Recommendation" in out
+    assert "UDP keepalive" in out
+
+
+def test_keepalive_advisor_rejects_unknown_tags(monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["keepalive_advisor.py", "nosuch"])
+    with pytest.raises(SystemExit, match="unknown device tags"):
+        _load("keepalive_advisor").main()

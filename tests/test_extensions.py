@@ -1,0 +1,193 @@
+"""The §5 future-work extensions: binding rate, option handling, DNS
+truncation, IP forwarding."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.core import BindingRateProbe, OptionsTest
+from repro.devices.profile import NatPolicy, QuirkPolicy
+from repro.testbed import Testbed
+from tests.conftest import make_profile
+
+
+class TestBindingRate:
+    def test_unlimited_device_tracks_offered_rate(self):
+        bed = Testbed.build([make_profile("fast")])
+        probe = BindingRateProbe(offered_rates=(100, 400), burst_count=100)
+        result = probe.run_all(bed)["fast"]
+        for step in result.steps:
+            assert step.loss_fraction < 0.05, step
+        assert result.sustainable_rate() >= 350
+
+    def test_rate_limited_device_saturates(self):
+        profile = make_profile("slowcpu", nat=NatPolicy(max_binding_rate=100.0))
+        bed = Testbed.build([profile])
+        probe = BindingRateProbe(offered_rates=(50, 200, 800), burst_count=100)
+        result = probe.run_all(bed)["slowcpu"]
+        by_rate = {round(s.offered_rate): s for s in result.steps}
+        assert by_rate[50].loss_fraction < 0.05
+        # Short measurement windows include the bucket's burst credit, so the
+        # saturated estimate sits a bit above the nominal 100/s.
+        assert by_rate[800].achieved_rate == pytest.approx(100.0, rel=0.35)
+        assert by_rate[800].loss_fraction > 0.5
+        assert result.saturation_rate() == pytest.approx(100.0, rel=0.35)
+
+    def test_series(self):
+        bed = Testbed.build([make_profile("x")])
+        probe = BindingRateProbe(offered_rates=(100,), burst_count=50)
+        series = probe.series(probe.run_all(bed))
+        assert "x" in series.summaries
+
+
+class TestOptionHandling:
+    def test_transparent_device(self):
+        bed = Testbed.build([make_profile("clean")])
+        result = OptionsTest().run_all(bed)["clean"]
+        assert result.ip_options_pass
+        assert not result.record_route_recorded  # default: ignores the option
+        assert result.tcp_options_preserved is True
+
+    def test_record_route_honoring_device(self):
+        profile = make_profile("rr", quirks=QuirkPolicy(honors_record_route=True))
+        bed = Testbed.build([profile])
+        result = OptionsTest().run_all(bed)["rr"]
+        assert result.ip_options_pass and result.record_route_recorded
+
+    def test_ip_option_dropping_device(self):
+        profile = make_profile("paranoid", quirks=QuirkPolicy(drops_ip_options=True))
+        bed = Testbed.build([profile])
+        result = OptionsTest().run_all(bed)["paranoid"]
+        assert not result.ip_options_pass
+        # The TCP probe carries no IP options, so it still gets through.
+        assert result.tcp_options_preserved is True
+
+    def test_tcp_option_stripping_device(self):
+        profile = make_profile("stripper", quirks=QuirkPolicy(strips_tcp_options=True))
+        bed = Testbed.build([profile])
+        result = OptionsTest().run_all(bed)["stripper"]
+        assert result.tcp_options_preserved is False
+        assert result.ip_options_pass  # IP layer untouched
+
+    def test_population_mixture(self):
+        profiles = [
+            make_profile("a"),
+            make_profile("b", quirks=QuirkPolicy(strips_tcp_options=True)),
+            make_profile("c", quirks=QuirkPolicy(drops_ip_options=True)),
+        ]
+        bed = Testbed.build(profiles)
+        results = OptionsTest().run_all(bed)
+        assert results["a"].tcp_options_preserved and results["a"].ip_options_pass
+        assert results["b"].tcp_options_preserved is False
+        assert not results["c"].ip_options_pass
+
+
+class TestDnsTruncation:
+    def _bed(self):
+        from repro.netsim import Link, Simulation, mac_allocator
+        from repro.protocols import DnsAuthoritativeServer, DnsStubResolver, Host
+        from ipaddress import IPv4Network
+
+        sim = Simulation(seed=4)
+        macs = mac_allocator()
+        server, client = Host(sim, "s", macs), Host(sim, "c", macs)
+        si, ci = server.new_interface(), client.new_interface()
+        Link(sim).attach(si, ci)
+        net = IPv4Network("10.0.0.0/24")
+        si.configure(IPv4Address("10.0.0.1"), net)
+        ci.configure(IPv4Address("10.0.0.2"), net)
+        zone = DnsAuthoritativeServer(server, {"small.example": IPv4Address("192.0.2.1")})
+        zone.add_record("big.example", IPv4Address("192.0.2.2"))
+        zone.add_txt_record("big.example", b"D" * 900)  # way past 512 B
+        return sim, zone, DnsStubResolver(client)
+
+    def test_small_answer_stays_udp(self):
+        sim, zone, resolver = self._bed()
+        out = []
+        resolver.query_auto(IPv4Address("10.0.0.1"), "small.example", out.append)
+        sim.run(until=10)
+        assert out[0].answers[0].address == IPv4Address("192.0.2.1")
+        assert zone.truncated_responses == 0
+        assert zone.tcp_queries == 0
+
+    def test_big_answer_truncates_then_tcp(self):
+        sim, zone, resolver = self._bed()
+        out = []
+        resolver.query_auto(IPv4Address("10.0.0.1"), "big.example", out.append)
+        sim.run(until=30)
+        assert out and out[0] is not None
+        assert any(len(r.rdata) == 900 for r in out[0].answers)
+        assert zone.truncated_responses == 1
+        assert zone.tcp_queries == 1
+
+    def test_truncation_behind_tcp_less_proxy_fails(self):
+        """The §4.3 consequence: a big answer needs DNS-over-TCP, which most
+        gateways' proxies refuse — the query dies."""
+        from repro.protocols import DnsStubResolver
+        from repro.devices.profile import DnsProxyPolicy
+
+        profile = make_profile("gw", dns_proxy=DnsProxyPolicy(accepts_tcp=False))
+        bed = Testbed.build([profile])
+        bed.dns_zone.add_txt_record("test.hiit.fi", b"B" * 900)
+        port = bed.port("gw")
+        out = []
+        DnsStubResolver(bed.client).query_auto(
+            port.gateway.lan_ip, "test.hiit.fi", out.append, iface_index=port.client_iface_index
+        )
+        bed.sim.run(until=bed.sim.now + 20)
+        assert out == [None]
+
+    def test_truncation_behind_tcp_capable_proxy_succeeds(self):
+        from repro.protocols import DnsStubResolver
+        from repro.devices.profile import DnsProxyPolicy
+
+        profile = make_profile("gw", dns_proxy=DnsProxyPolicy(accepts_tcp=True, responds_tcp=True))
+        bed = Testbed.build([profile])
+        bed.dns_zone.add_txt_record("test.hiit.fi", b"B" * 900)
+        port = bed.port("gw")
+        out = []
+        DnsStubResolver(bed.client).query_auto(
+            port.gateway.lan_ip, "test.hiit.fi", out.append, iface_index=port.client_iface_index
+        )
+        bed.sim.run(until=bed.sim.now + 20)
+        assert out and out[0] is not None
+        assert any(len(r.rdata) == 900 for r in out[0].answers)
+
+
+class TestIpForwarding:
+    def test_host_routes_between_interfaces_when_enabled(self, sim, macs):
+        from ipaddress import IPv4Network
+        from repro.netsim import Link
+        from repro.protocols import Host
+
+        router = Host(sim, "router", macs)
+        a, b = Host(sim, "a", macs), Host(sim, "b", macs)
+        r0, r1 = router.new_interface(), router.new_interface()
+        ia, ib = a.new_interface(), b.new_interface()
+        Link(sim).attach(ia, r0)
+        Link(sim).attach(ib, r1)
+        net_a, net_b = IPv4Network("10.1.0.0/24"), IPv4Network("10.2.0.0/24")
+        r0.configure(IPv4Address("10.1.0.1"), net_a)
+        r1.configure(IPv4Address("10.2.0.1"), net_b)
+        ia.configure(IPv4Address("10.1.0.2"), net_a, gateway_ip=IPv4Address("10.1.0.1"))
+        ib.configure(IPv4Address("10.2.0.2"), net_b, gateway_ip=IPv4Address("10.2.0.1"))
+        a.add_default_route(0, IPv4Address("10.1.0.1"))
+        b.add_default_route(0, IPv4Address("10.2.0.1"))
+        got = []
+        sink = b.udp.bind(7000)
+        sink.on_receive = lambda data, ip, p: got.append((data, ip))
+        sock = a.udp.bind(0)
+
+        # Forwarding off: dropped.
+        sock.send_to(b"x", IPv4Address("10.2.0.2"), 7000)
+        sim.run(until=2)
+        assert got == []
+        # Forwarding on: routed, TTL decremented.
+        router.ip_forwarding = True
+        ttls = []
+        b.observe_ip(lambda packet, iface: ttls.append(packet.ttl))
+        sock.send_to(b"y", IPv4Address("10.2.0.2"), 7000)
+        sim.run(until=4)
+        assert got == [(b"y", IPv4Address("10.1.0.2"))]
+        assert ttls[-1] == 63
+        assert router.packets_forwarded == 1

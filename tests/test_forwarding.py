@@ -1,0 +1,137 @@
+"""The forwarding engine: rates, buffers, shared queue, pps cap."""
+
+import pytest
+
+from repro.devices.profile import ForwardingPolicy
+from repro.gateway.forwarding import DOWNSTREAM, UPSTREAM, ForwardingEngine
+
+
+def drain(sim, engine, direction, count, size=1000, policy_args=None):
+    """Push ``count`` items and record their delivery times."""
+    deliveries = []
+    for i in range(count):
+        engine.forward(direction, i, size, lambda item: deliveries.append((sim.now, item)))
+    sim.run()
+    return deliveries
+
+
+class TestRates:
+    def test_rate_limits_throughput(self, sim):
+        policy = ForwardingPolicy(up_rate_bps=8e6, down_rate_bps=8e6, base_delay=0.0)
+        engine = ForwardingEngine(sim, policy)
+        deliveries = drain(sim, engine, UPSTREAM, 100, size=1000)
+        duration = deliveries[-1][0] - deliveries[0][0]
+        # 99 packets * 1000 B at 1 MB/s -> 99 ms.
+        assert duration == pytest.approx(0.099, rel=0.1)
+
+    def test_directions_independent_without_shared_cap(self, sim):
+        policy = ForwardingPolicy(up_rate_bps=8e6, down_rate_bps=8e6, base_delay=0.0)
+        engine = ForwardingEngine(sim, policy)
+        up_times, down_times = [], []
+        for i in range(50):
+            engine.forward(UPSTREAM, i, 1000, lambda _item: up_times.append(sim.now))
+            engine.forward(DOWNSTREAM, i, 1000, lambda _item: down_times.append(sim.now))
+        sim.run()
+        assert up_times[-1] == pytest.approx(down_times[-1], rel=0.05)
+        assert up_times[-1] == pytest.approx(0.049, rel=0.15)
+
+    def test_shared_cap_halves_bidirectional(self, sim):
+        policy = ForwardingPolicy(
+            up_rate_bps=8e6, down_rate_bps=8e6, combined_rate_bps=8e6, base_delay=0.0
+        )
+        engine = ForwardingEngine(sim, policy)
+        done = []
+        for i in range(50):
+            engine.forward(UPSTREAM, ("u", i), 1000, lambda _item: done.append(sim.now))
+            engine.forward(DOWNSTREAM, ("d", i), 1000, lambda _item: done.append(sim.now))
+        sim.run()
+        # 100 packets through an 8 Mb/s shared cap: ~100 ms total.
+        assert max(done) == pytest.approx(0.099, rel=0.15)
+
+    def test_base_delay_added(self, sim):
+        policy = ForwardingPolicy(base_delay=0.05)
+        engine = ForwardingEngine(sim, policy)
+        deliveries = drain(sim, engine, UPSTREAM, 1)
+        assert deliveries[0][0] >= 0.05
+
+    def test_fifo_order_preserved(self, sim):
+        engine = ForwardingEngine(sim, ForwardingPolicy(up_rate_bps=1e6))
+        deliveries = drain(sim, engine, UPSTREAM, 20)
+        assert [item for _t, item in deliveries] == list(range(20))
+
+
+class TestBuffer:
+    def test_overflow_drops(self, sim):
+        policy = ForwardingPolicy(up_rate_bps=1e6, buffer_bytes=5000, base_delay=0.0)
+        engine = ForwardingEngine(sim, policy)
+        delivered = []
+        for i in range(10):
+            engine.forward(UPSTREAM, i, 1000, lambda item: delivered.append(item))
+        sim.run()
+        assert engine.dropped[UPSTREAM] > 0
+        assert len(delivered) + engine.dropped[UPSTREAM] == 10
+        assert delivered == sorted(delivered)
+
+    def test_queue_depth_visible(self, sim):
+        policy = ForwardingPolicy(up_rate_bps=1e3, buffer_bytes=100_000)
+        engine = ForwardingEngine(sim, policy)
+        for i in range(5):
+            engine.forward(UPSTREAM, i, 1000, lambda item: None)
+        assert engine.queue_depth_bytes(UPSTREAM) > 0
+
+
+class TestSharedQueue:
+    def test_head_of_line_blocking_across_directions(self, sim):
+        policy = ForwardingPolicy(
+            up_rate_bps=1e6, down_rate_bps=100e6, combined_rate_bps=1e6,
+            base_delay=0.0, shared_queue=True,
+        )
+        engine = ForwardingEngine(sim, policy)
+        order = []
+        # Slow upstream packets first, then a downstream packet.
+        for i in range(5):
+            engine.forward(UPSTREAM, ("u", i), 1000, lambda item=("u", i): order.append(item))
+        engine.forward(DOWNSTREAM, ("d", 0), 1000, lambda item: order.append(("d", 0)))
+        sim.run()
+        assert order[-1] == ("d", 0)  # had to wait behind all the upstream
+
+    def test_split_queue_lets_downstream_pass(self, sim):
+        policy = ForwardingPolicy(
+            up_rate_bps=1e6, down_rate_bps=100e6, base_delay=0.0, shared_queue=False,
+        )
+        engine = ForwardingEngine(sim, policy)
+        order = []
+        for i in range(5):
+            engine.forward(UPSTREAM, ("u", i), 1000, lambda item=("u", i): order.append(item))
+        engine.forward(DOWNSTREAM, ("d", 0), 1000, lambda item: order.append(("d", 0)))
+        sim.run()
+        # The downstream packet overtakes the upstream backlog on its own
+        # queue (the burst credit lets the first upstream through with it).
+        assert order.index(("d", 0)) < order.index(("u", 4))
+
+
+class TestPpsCap:
+    def test_pps_limits_small_packets(self, sim):
+        policy = ForwardingPolicy(up_rate_bps=100e6, pps_limit=100.0, base_delay=0.0)
+        engine = ForwardingEngine(sim, policy)
+        times = []
+        for i in range(20):
+            engine.forward(UPSTREAM, i, 64, lambda _item: times.append(sim.now))
+        sim.run()
+        duration = times[-1] - times[0]
+        assert duration == pytest.approx(19 / 100.0, rel=0.2)
+
+    def test_pps_irrelevant_when_byte_rate_binds(self, sim):
+        policy = ForwardingPolicy(up_rate_bps=1e6, pps_limit=1e6, base_delay=0.0)
+        engine = ForwardingEngine(sim, policy)
+        times = []
+        for i in range(10):
+            engine.forward(UPSTREAM, i, 1000, lambda _item: times.append(sim.now))
+        sim.run()
+        # 10 kB total, minus the 3200 B burst credit, at 1 Mb/s.
+        assert times[-1] - times[0] == pytest.approx((10_000 - 3200) * 8 / 1e6, rel=0.1)
+
+    def test_unknown_direction_rejected(self, sim):
+        engine = ForwardingEngine(sim, ForwardingPolicy())
+        with pytest.raises(ValueError):
+            engine.forward("sideways", 1, 100, lambda item: None)

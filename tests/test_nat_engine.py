@@ -1,0 +1,302 @@
+"""The NAT engine: bindings, timers, port policy, filtering."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.devices.profile import (
+    FilteringBehavior,
+    MappingBehavior,
+    NatPolicy,
+    PortAllocation,
+    TcpTimeoutPolicy,
+    UdpTimeoutPolicy,
+)
+from repro.gateway.nat import (
+    STATE_AFTER_INBOUND,
+    STATE_BIDIRECTIONAL,
+    STATE_OUTBOUND_ONLY,
+    NatEngine,
+)
+from repro.netsim import Simulation
+from tests.conftest import make_profile
+
+CLIENT = IPv4Address("192.168.1.100")
+SERVER = IPv4Address("10.0.1.1")
+REMOTE = (SERVER, 34567)
+
+
+def engine(sim, **profile_overrides):
+    return NatEngine(sim, make_profile(**profile_overrides))
+
+
+class TestBindingLifecycle:
+    def test_create_and_find(self, sim):
+        nat = engine(sim)
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert binding.ext_port == 5000  # preservation default
+        assert nat.find_by_external("udp", 5000) is binding
+
+    def test_same_flow_reuses_binding(self, sim):
+        nat = engine(sim)
+        first = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        second = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert first is second
+        assert nat.bindings_created == 1
+
+    def test_distinct_flows_distinct_ports(self, sim):
+        nat = engine(sim)
+        b1 = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        b2 = nat.lookup_or_create("udp", CLIENT, 5001, REMOTE)
+        assert b1.ext_port != b2.ext_port
+
+    def test_port_collision_between_clients(self, sim):
+        nat = engine(sim)
+        other = IPv4Address("192.168.1.101")
+        b1 = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        b2 = nat.lookup_or_create("udp", other, 5000, REMOTE)
+        assert b1.ext_port == 5000
+        assert b2.ext_port != 5000  # preservation blocked, allocator used
+
+    def test_expiry_removes_binding(self, sim):
+        nat = engine(sim, udp_timeouts=UdpTimeoutPolicy(30.0, 60.0, 60.0))
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(binding)
+        sim.run(until=29.0)
+        assert nat.find_by_external("udp", 5000) is not None
+        sim.run(until=31.0)
+        assert nat.find_by_external("udp", 5000) is None
+        assert nat.bindings_expired == 1
+
+    def test_outbound_refresh_extends_life(self, sim):
+        nat = engine(sim, udp_timeouts=UdpTimeoutPolicy(30.0, 60.0, 60.0))
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(binding)
+        sim.run(until=20.0)
+        nat.note_outbound(binding)
+        sim.run(until=45.0)
+        assert nat.find_by_external("udp", 5000) is not None
+        sim.run(until=51.0)
+        assert nat.find_by_external("udp", 5000) is None
+
+
+class TestTrafficStateMachine:
+    def test_states_progress(self, sim):
+        nat = engine(sim)
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(binding)
+        assert binding.state == STATE_OUTBOUND_ONLY
+        nat.note_inbound(binding)
+        assert binding.state == STATE_AFTER_INBOUND
+        nat.note_outbound(binding)
+        assert binding.state == STATE_BIDIRECTIONAL
+
+    def test_timeout_follows_state(self, sim):
+        nat = engine(sim, udp_timeouts=UdpTimeoutPolicy(30.0, 120.0, 300.0))
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(binding)
+        nat.note_inbound(binding)  # now after_inbound: 120 s
+        sim.run(until=100.0)
+        assert nat.find_by_external("udp", 5000) is not None
+        sim.run(until=125.0)
+        assert nat.find_by_external("udp", 5000) is None
+
+    def test_per_port_override(self, sim):
+        nat = engine(
+            sim, udp_timeouts=UdpTimeoutPolicy(200.0, 200.0, 200.0, per_port={53: 30.0})
+        )
+        dns = nat.lookup_or_create("udp", CLIENT, 5000, (SERVER, 53))
+        nat.note_outbound(dns)
+        sim.run(until=35.0)
+        assert nat.find_by_external("udp", dns.ext_port) is None
+
+    def test_timer_granularity_quantizes_expiry(self, sim):
+        nat = engine(
+            sim, udp_timeouts=UdpTimeoutPolicy(30.0, 60.0, 60.0, timer_granularity=25.0)
+        )
+        sim.run_for(10.0)  # create at t=10; 10+30=40 -> next tick at 50
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(binding)
+        sim.run(until=49.0)
+        assert nat.find_by_external("udp", 5000) is not None
+        sim.run(until=51.0)
+        assert nat.find_by_external("udp", 5000) is None
+
+
+class TestPortPolicy:
+    def test_no_preservation_allocates_sequentially(self, sim):
+        nat = engine(sim, nat=NatPolicy(port_preservation=False, reuse_expired_binding=False))
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert binding.ext_port == 1024
+
+    def test_random_allocation_in_range(self, sim):
+        nat = engine(
+            sim,
+            nat=NatPolicy(port_preservation=False, port_allocation=PortAllocation.RANDOM),
+        )
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert 1024 <= binding.ext_port <= 65535
+
+    def test_reuse_after_expiry(self, sim):
+        nat = engine(sim, udp_timeouts=UdpTimeoutPolicy(10.0, 10.0, 10.0))
+        first = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(first)
+        sim.run(until=20.0)
+        again = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert again.ext_port == first.ext_port
+
+    def test_no_reuse_holddown_forces_fresh_port(self, sim):
+        nat = engine(
+            sim,
+            udp_timeouts=UdpTimeoutPolicy(10.0, 10.0, 10.0),
+            nat=NatPolicy(port_preservation=True, reuse_expired_binding=False, reuse_holddown=300.0),
+        )
+        first = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert first.ext_port == 5000
+        nat.note_outbound(first)
+        sim.run(until=20.0)  # expired, within hold-down
+        again = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert again.ext_port != 5000
+
+    def test_holddown_expires(self, sim):
+        nat = engine(
+            sim,
+            udp_timeouts=UdpTimeoutPolicy(10.0, 10.0, 10.0),
+            nat=NatPolicy(port_preservation=True, reuse_expired_binding=False, reuse_holddown=30.0),
+        )
+        first = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(first)
+        sim.run(until=60.0)  # expired and past hold-down
+        again = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert again.ext_port == 5000
+
+    def test_reserved_ports_skipped(self, sim):
+        nat = engine(sim)
+        nat.port_reserved = lambda proto, port: port == 5000
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        assert binding.ext_port != 5000
+
+
+class TestMappingBehavior:
+    def test_endpoint_independent_single_mapping(self, sim):
+        nat = engine(sim)
+        b1 = nat.lookup_or_create("udp", CLIENT, 5000, (SERVER, 1000))
+        b2 = nat.lookup_or_create("udp", CLIENT, 5000, (SERVER, 2000))
+        assert b1 is b2
+
+    def test_address_and_port_dependent_mapping(self, sim):
+        nat = engine(
+            sim,
+            nat=NatPolicy(
+                port_preservation=False, mapping=MappingBehavior.ADDRESS_AND_PORT_DEPENDENT
+            ),
+        )
+        b1 = nat.lookup_or_create("udp", CLIENT, 5000, (SERVER, 1000))
+        b2 = nat.lookup_or_create("udp", CLIENT, 5000, (SERVER, 2000))
+        assert b1 is not b2
+        assert b1.ext_port != b2.ext_port
+
+    def test_address_dependent_mapping(self, sim):
+        nat = engine(
+            sim,
+            nat=NatPolicy(port_preservation=False, mapping=MappingBehavior.ADDRESS_DEPENDENT),
+        )
+        b1 = nat.lookup_or_create("udp", CLIENT, 5000, (SERVER, 1000))
+        b2 = nat.lookup_or_create("udp", CLIENT, 5000, (SERVER, 2000))
+        b3 = nat.lookup_or_create("udp", CLIENT, 5000, (IPv4Address("10.0.1.2"), 1000))
+        assert b1 is b2 and b1 is not b3
+
+
+class TestFiltering:
+    def _bound(self, sim, filtering):
+        nat = engine(sim, nat=NatPolicy(filtering=filtering))
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        return nat, binding
+
+    def test_endpoint_independent_lets_anyone(self, sim):
+        nat, binding = self._bound(sim, FilteringBehavior.ENDPOINT_INDEPENDENT)
+        assert nat.inbound_allowed(binding, (IPv4Address("203.0.113.9"), 999))
+
+    def test_address_dependent_requires_known_host(self, sim):
+        nat, binding = self._bound(sim, FilteringBehavior.ADDRESS_DEPENDENT)
+        assert nat.inbound_allowed(binding, (SERVER, 999))  # same host, other port
+        assert not nat.inbound_allowed(binding, (IPv4Address("203.0.113.9"), 34567))
+
+    def test_port_dependent_requires_exact_endpoint(self, sim):
+        nat, binding = self._bound(sim, FilteringBehavior.ADDRESS_AND_PORT_DEPENDENT)
+        assert nat.inbound_allowed(binding, REMOTE)
+        assert not nat.inbound_allowed(binding, (SERVER, 999))
+        assert nat.inbound_filtered == 1
+
+
+class TestTcpBindings:
+    def test_transitory_then_established_timeouts(self, sim):
+        nat = engine(sim, tcp_timeouts=TcpTimeoutPolicy(established=1000.0, transitory=60.0))
+        binding = nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(binding)  # SYN: transitory
+        sim.run(until=59.0)
+        assert nat.find_by_external("tcp", 5000) is not None
+        nat.note_inbound(binding)  # SYN-ACK: established
+        sim.run(until=900.0)
+        assert nat.find_by_external("tcp", 5000) is not None
+        sim.run(until=1902.0)
+        assert nat.find_by_external("tcp", 5000) is None
+
+    def test_established_none_never_expires(self, sim):
+        nat = engine(sim, tcp_timeouts=TcpTimeoutPolicy(established=None))
+        binding = nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(binding)
+        nat.note_inbound(binding)
+        sim.run(until=1_000_000.0)
+        assert nat.find_by_external("tcp", 5000) is not None
+
+    def test_rst_clears_immediately(self, sim):
+        nat = engine(sim, tcp_timeouts=TcpTimeoutPolicy(established=None, rst_clears=True))
+        binding = nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE)
+        nat.note_inbound(binding)
+        nat.note_tcp_flags(binding, fin=False, rst=True, outbound=True)
+        assert nat.find_by_external("tcp", 5000) is None
+
+    def test_fin_moves_to_closing_timeout(self, sim):
+        nat = engine(sim, tcp_timeouts=TcpTimeoutPolicy(established=None, transitory=30.0))
+        binding = nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE)
+        nat.note_inbound(binding)
+        nat.note_tcp_flags(binding, fin=True, rst=False, outbound=True)
+        sim.run(until=35.0)
+        assert nat.find_by_external("tcp", 5000) is None
+
+    def test_binding_cap_refuses(self, sim):
+        nat = engine(sim, nat=NatPolicy(max_tcp_bindings=3))
+        for port in range(5000, 5003):
+            assert nat.lookup_or_create("tcp", CLIENT, port, REMOTE) is not None
+        assert nat.lookup_or_create("tcp", CLIENT, 5003, REMOTE) is None
+        assert nat.bindings_refused == 1
+        assert nat.binding_count("tcp") == 3
+
+    def test_cap_is_per_protocol(self, sim):
+        nat = engine(sim, nat=NatPolicy(max_tcp_bindings=1))
+        assert nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE) is not None
+        assert nat.lookup_or_create("udp", CLIENT, 6000, REMOTE) is not None
+
+
+class TestEchoAndGenericBindings:
+    def test_echo_ident_preserved_and_mapped_back(self, sim):
+        nat = engine(sim)
+        ext = nat.echo_outbound(CLIENT, 77)
+        assert ext == 77
+        assert nat.echo_inbound(77) == (CLIENT, 77)
+
+    def test_echo_ident_collision_remapped(self, sim):
+        nat = engine(sim)
+        nat.echo_outbound(CLIENT, 77)
+        other = IPv4Address("192.168.1.101")
+        ext = nat.echo_outbound(other, 77)
+        assert ext != 77
+        assert nat.echo_inbound(ext) == (other, 77)
+
+    def test_generic_binding_roundtrip(self, sim):
+        nat = engine(sim)
+        nat.generic_outbound(132, CLIENT, SERVER)
+        assert nat.generic_inbound(132, SERVER) == CLIENT
+        assert nat.generic_inbound(132, IPv4Address("203.0.113.1")) is None
+        assert nat.generic_inbound(33, SERVER) is None

@@ -1,0 +1,68 @@
+"""MAC addresses and the allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.addresses import BROADCAST_MAC, MacAddress, mac_allocator
+
+
+def test_parse_and_str_roundtrip():
+    mac = MacAddress.parse("02:00:00:AB:cd:ef")
+    assert str(mac) == "02:00:00:ab:cd:ef"
+
+
+def test_bytes_roundtrip():
+    mac = MacAddress.parse("0a:1b:2c:3d:4e:5f")
+    assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+def test_value_roundtrip(value):
+    mac = MacAddress(value)
+    assert MacAddress.from_bytes(mac.to_bytes()).value == value
+    assert MacAddress.parse(str(mac)) == mac
+
+
+def test_broadcast_detection():
+    assert BROADCAST_MAC.is_broadcast
+    assert not MacAddress(1).is_broadcast
+
+
+def test_multicast_bit():
+    assert MacAddress.parse("01:00:5e:00:00:01").is_multicast
+    assert not MacAddress.parse("02:00:00:00:00:01").is_multicast
+
+
+def test_parse_rejects_malformed():
+    for bad in ("", "02:00:00:00:00", "02:00:00:00:00:00:00", "zz:00:00:00:00:00"):
+        with pytest.raises(ValueError):
+            MacAddress.parse(bad)
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        MacAddress(1 << 48)
+    with pytest.raises(ValueError):
+        MacAddress(-1)
+
+
+def test_allocator_yields_distinct_locally_administered():
+    pool = mac_allocator()
+    macs = [next(pool) for _ in range(100)]
+    assert len(set(macs)) == 100
+    assert all(not mac.is_multicast for mac in macs)
+    # Locally-administered bit set on the default OUI.
+    assert all((mac.value >> 40) & 0x02 for mac in macs)
+
+
+def test_allocator_custom_oui():
+    pool = mac_allocator(oui=0x02_AA_BB)
+    mac = next(pool)
+    assert str(mac).startswith("02:aa:bb")
+
+
+def test_equality_and_hash():
+    a = MacAddress(42)
+    b = MacAddress(42)
+    assert a == b and hash(a) == hash(b)
+    assert MacAddress(1) < MacAddress(2)

@@ -1,0 +1,154 @@
+"""Drop-tail queue and token bucket, including property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.queues import DropTailQueue, TokenBucket
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(1000)
+        for i in range(3):
+            assert q.offer(i, 100)
+        assert [q.poll()[0] for _ in range(3)] == [0, 1, 2]
+
+    def test_tail_drop_when_full(self):
+        q = DropTailQueue(250)
+        assert q.offer("a", 100)
+        assert q.offer("b", 100)
+        assert not q.offer("c", 100)  # would exceed 250
+        assert q.dropped == 1
+        assert q.enqueued == 2
+
+    def test_occupancy_tracks_bytes(self):
+        q = DropTailQueue(1000)
+        q.offer("a", 300)
+        q.offer("b", 200)
+        assert q.occupied_bytes == 500
+        q.poll()
+        assert q.occupied_bytes == 200
+
+    def test_poll_empty_returns_none(self):
+        assert DropTailQueue(10).poll() is None
+
+    def test_peek_size(self):
+        q = DropTailQueue(1000)
+        assert q.peek_size() is None
+        q.offer("a", 42)
+        assert q.peek_size() == 42
+        q.poll()
+        assert q.peek_size() is None
+
+    def test_exact_fit_accepted(self):
+        q = DropTailQueue(100)
+        assert q.offer("a", 100)
+        assert not q.offer("b", 1)
+
+    def test_rejects_bad_sizes(self):
+        q = DropTailQueue(100)
+        with pytest.raises(ValueError):
+            q.offer("a", 0)
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    def test_clear(self):
+        q = DropTailQueue(1000)
+        q.offer("a", 10)
+        q.clear()
+        assert len(q) == 0 and q.occupied_bytes == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), max_size=50))
+    def test_occupancy_never_exceeds_capacity(self, sizes):
+        q = DropTailQueue(500)
+        for i, size in enumerate(sizes):
+            q.offer(i, size)
+            assert q.occupied_bytes <= 500
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=50))
+    def test_accepted_items_all_come_back_in_order(self, sizes):
+        q = DropTailQueue(10_000)
+        for i, size in enumerate(sizes):
+            q.offer(i, size)
+        out = []
+        while q:
+            out.append(q.poll()[0])
+        assert out == list(range(len(sizes)))
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(8e6, 1000)
+        assert bucket.try_consume(0.0, 1000)
+        assert not bucket.try_consume(0.0, 1)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(8e6, 1000)  # 1 MB/s
+        bucket.try_consume(0.0, 1000)
+        # After 1 ms, 1000 bytes should be back.
+        assert bucket.try_consume(0.001, 1000)
+
+    def test_burst_caps_refill(self):
+        bucket = TokenBucket(8e6, 1000)
+        bucket.try_consume(0.0, 1000)
+        # Idle a long time: still only the burst available.
+        assert bucket.try_consume(10.0, 1000)
+        assert not bucket.try_consume(10.0, 1)
+
+    def test_delay_until_available(self):
+        bucket = TokenBucket(8e6, 1000)
+        bucket.try_consume(0.0, 1000)
+        delay = bucket.delay_until_available(0.0, 500)
+        assert delay == pytest.approx(0.0005)
+
+    def test_delay_zero_when_ready(self):
+        bucket = TokenBucket(8e6, 1000)
+        assert bucket.delay_until_available(0.0, 500) == 0.0
+
+    def test_consume_after_reported_delay_succeeds(self):
+        """The property the forwarding engine depends on: waiting exactly
+        delay_until_available() must make the consume succeed (no respin)."""
+        bucket = TokenBucket(9_999_937, 3200)  # awkward rate on purpose
+        now = 0.0
+        for size in (1518, 1518, 1518, 64, 1518, 40, 1518):
+            delay = bucket.delay_until_available(now, size)
+            now += delay
+            assert bucket.try_consume(now, size), (size, now)
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e9),
+        st.lists(st.integers(min_value=1, max_value=1600), min_size=1, max_size=30),
+    )
+    def test_wait_then_consume_never_fails(self, rate, sizes):
+        bucket = TokenBucket(rate, 3200)
+        now = 0.0
+        for size in sizes:
+            delay = bucket.delay_until_available(now, size)
+            assert delay >= 0.0
+            now += delay
+            assert bucket.try_consume(now, size)
+
+    def test_rate_enforced_over_time(self):
+        bucket = TokenBucket(8e6, 1600)  # 1 MB/s
+        now, sent = 0.0, 0
+        while now < 1.0:
+            delay = bucket.delay_until_available(now, 1000)
+            now += delay
+            if now >= 1.0:
+                break
+            bucket.try_consume(now, 1000)
+            sent += 1000
+        assert sent <= 1e6 + 1600
+        assert sent >= 0.9e6
+
+    def test_time_backwards_raises(self):
+        bucket = TokenBucket(8e6, 1000)
+        bucket.try_consume(5.0, 10)
+        with pytest.raises(ValueError):
+            bucket.try_consume(4.0, 10)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 100)
+        with pytest.raises(ValueError):
+            TokenBucket(100, 0)

@@ -1,0 +1,155 @@
+"""Scheduler, clock and timer semantics."""
+
+import pytest
+
+from repro.netsim import Simulation, Timer
+
+
+def test_events_run_in_time_order(sim):
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order(sim):
+    seen = []
+    for label in "abcde":
+        sim.schedule(1.0, seen.append, label)
+    sim.run()
+    assert seen == list("abcde")
+
+
+def test_clock_advances_to_event_time(sim):
+    stamps = []
+    sim.schedule(5.5, lambda: stamps.append(sim.now))
+    sim.run()
+    assert stamps == [5.5]
+    assert sim.now == 5.5
+
+
+def test_run_until_stops_before_later_events(sim):
+    seen = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_for_advances_relative(sim):
+    sim.run_for(3.0)
+    assert sim.now == 3.0
+    sim.run_for(2.0)
+    assert sim.now == 5.0
+
+
+def test_schedule_into_past_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_nested_scheduling(sim):
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.schedule(1.0, inner)
+
+    def inner():
+        seen.append(("inner", sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_max_events_guard(sim):
+    def respawn():
+        sim.schedule(0.1, respawn)
+
+    sim.schedule(0.0, respawn)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=100)
+
+
+def test_timer_fires_once(sim):
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+    assert not timer.armed
+
+
+def test_timer_cancel(sim):
+    fired = []
+    timer = sim.timer(fired.append, "x")
+    timer.start(1.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_timer_restart_supersedes_old_deadline(sim):
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.restart(5.0)
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_timer_restart_after_fire(sim):
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(1.0)
+    sim.run()
+    timer.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0]
+
+
+def test_timer_rejects_negative_delay(sim):
+    timer = sim.timer(lambda: None)
+    with pytest.raises(ValueError):
+        timer.start(-0.1)
+
+
+def test_timer_with_args(sim):
+    got = []
+    timer = Timer(sim, got.append, 42)
+    timer.start(0.5)
+    sim.run()
+    assert got == [42]
+
+
+def test_deterministic_rng_with_seed():
+    a = Simulation(seed=123).rng.random()
+    b = Simulation(seed=123).rng.random()
+    c = Simulation(seed=124).rng.random()
+    assert a == b
+    assert a != c
+
+
+def test_events_processed_counter(sim):
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_pending_events(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0

@@ -1,0 +1,110 @@
+"""Testbed bring-up, VLAN isolation, and the management channel."""
+
+from ipaddress import IPv4Address, IPv4Network
+
+import pytest
+
+from repro.testbed import ManagementChannel, Testbed, Testrund
+from repro.netsim import Simulation
+from tests.conftest import make_profile
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return Testbed.build([make_profile("g1"), make_profile("g2"), make_profile("g3")])
+
+
+class TestBringUp:
+    def test_every_slot_configured(self, bed):
+        for tag in ("g1", "g2", "g3"):
+            port = bed.port(tag)
+            assert port.gateway.wan_ip is not None
+            assert bed.client_ip(tag) is not None
+            assert port.client_dhcp.configured
+
+    def test_addressing_plan_matches_figure1(self, bed):
+        port = bed.port("g2")
+        assert port.wan_network == IPv4Network("10.0.2.0/24")
+        assert port.lan_network == IPv4Network("192.168.2.0/24")
+        assert port.server_ip == IPv4Address("10.0.2.1")
+        assert port.gateway.wan_ip in port.wan_network
+        assert bed.client_ip("g2") in port.lan_network
+
+    def test_client_learned_gateway_and_dns_from_dhcp(self, bed):
+        port = bed.port("g1")
+        iface = bed.client_iface("g1")
+        assert iface.gateway_ip == port.gateway.lan_ip
+        assert port.client_dhcp.dns_servers == [port.gateway.lan_ip]
+
+    def test_gateway_learned_dns_from_wan_dhcp(self, bed):
+        port = bed.port("g3")
+        assert port.gateway.wan_dns_servers == [port.server_ip]
+
+    def test_duplicate_tags_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Testbed.build([make_profile("x"), make_profile("x")])
+
+    def test_tags_listing(self, bed):
+        assert bed.tags() == ["g1", "g2", "g3"]
+
+
+class TestIsolation:
+    def test_vlans_isolate_gateways(self, bed):
+        """Traffic through gateway 1 is never seen by gateway 2's networks."""
+        port1, port2 = bed.port("g1"), bed.port("g2")
+        before = port2.gateway.forwarded_up
+        sink = bed.server.udp.bind(7100)
+        sink.on_receive = lambda *a: None
+        sock = bed.client.udp.bind(0, port1.client_iface_index)
+        sock.send_to(b"x", port1.server_ip, 7100)
+        bed.sim.run(until=bed.sim.now + 2)
+        assert port2.gateway.forwarded_up == before
+        sink.close()
+
+    def test_each_slot_reaches_only_its_server_address(self, bed):
+        port1, port2 = bed.port("g1"), bed.port("g2")
+        got = []
+        sink = bed.server.udp.bind(7200)
+        sink.on_receive = lambda data, ip, p: got.append(ip)
+        # Send via g1's interface toward g2's server address: the gateway
+        # forwards it upstream, the server replies from the g2 VLAN — but
+        # the packet arrives via g1's WAN (routed at the server by address).
+        sock = bed.client.udp.bind(0, port1.client_iface_index)
+        sock.send_to(b"x", port2.server_ip, 7200)
+        bed.sim.run(until=bed.sim.now + 2)
+        # The server sees it arrive from g1's WAN address.
+        assert got and got[0] == port1.gateway.wan_ip
+        sink.close()
+
+
+class TestManagement:
+    def test_channel_delivers_with_latency(self):
+        sim = Simulation()
+        channel = ManagementChannel(sim, latency=0.005)
+        got = []
+        channel.call(lambda value: got.append((sim.now, value)), 42)
+        sim.run()
+        assert got == [(0.005, 42)]
+
+    def test_testrund_registry(self):
+        sim = Simulation()
+        channel = ManagementChannel(sim)
+        daemon = Testrund("server", channel)
+        got = []
+        daemon.register("do", got.append)
+        daemon.invoke("do", "payload")
+        sim.run()
+        assert got == ["payload"]
+
+    def test_unknown_command_raises(self):
+        daemon = Testrund("server", ManagementChannel(Simulation()))
+        with pytest.raises(KeyError):
+            daemon.invoke("nope")
+
+    def test_unregister(self):
+        sim = Simulation()
+        daemon = Testrund("server", ManagementChannel(sim))
+        daemon.register("do", lambda: None)
+        daemon.unregister("do")
+        with pytest.raises(KeyError):
+            daemon.invoke("do")

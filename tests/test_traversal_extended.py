@@ -1,0 +1,150 @@
+"""TURN-style relay, ICE-lite, TCP hole punching, and pcap export."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.devices.profile import FilteringBehavior, MappingBehavior, NatPolicy
+from repro.netsim import PacketTrace
+from repro.netsim.pcap import read_pcap, save_trace
+from repro.testbed import Testbed
+from repro.traversal import IceLiteSession, RelayServer, TcpHolePunchExperiment
+from tests.conftest import make_profile
+
+
+def cone(tag, filtering=FilteringBehavior.ADDRESS_DEPENDENT):
+    return make_profile(tag, nat=NatPolicy(filtering=filtering))
+
+
+def symmetric(tag):
+    return make_profile(
+        tag,
+        nat=NatPolicy(
+            port_preservation=False,
+            mapping=MappingBehavior.ADDRESS_AND_PORT_DEPENDENT,
+            filtering=FilteringBehavior.ADDRESS_AND_PORT_DEPENDENT,
+        ),
+    )
+
+
+class TestRelay:
+    def test_relay_carries_traffic_between_symmetric_nats(self):
+        bed = Testbed.build([symmetric("a"), symmetric("b")])
+        bed.server.ip_forwarding = True
+        session = IceLiteSession(bed)
+        assert session._relay_pair("a", "b") is True
+        assert session.relay.datagrams_relayed >= 2
+        session.close()
+
+    def test_relay_allocation_is_per_session(self):
+        bed = Testbed.build([cone("a")])
+        relay = RelayServer(bed.server)
+        from repro.traversal.relay import decode, encode_allocate
+
+        port_a = bed.port("a")
+        sock = bed.client.udp.bind(0, port_a.client_iface_index)
+        ports = []
+        sock.on_receive = lambda payload, ip, p: ports.append(decode(payload)[3])
+        sock.send_to(encode_allocate(101, 0), port_a.server_ip, 3480)
+        sock.send_to(encode_allocate(102, 0), port_a.server_ip, 3480)
+        bed.sim.run(until=bed.sim.now + 2)
+        assert len(ports) == 2 and ports[0] != ports[1]
+        relay.close()
+
+
+class TestIceLite:
+    def test_cone_pair_goes_direct(self):
+        bed = Testbed.build([cone("a"), cone("b")])
+        session = IceLiteSession(bed)
+        outcome = session.connect("a", "b")
+        session.close()
+        assert outcome.connected and outcome.path == "direct"
+
+    def test_symmetric_pair_falls_back_to_relay(self):
+        bed = Testbed.build([symmetric("a"), symmetric("b")])
+        session = IceLiteSession(bed)
+        outcome = session.connect("a", "b")
+        session.close()
+        assert outcome.connected and outcome.path == "relayed"
+        assert outcome.direct is not None and not outcome.direct.success
+
+    def test_matrix_mixes_paths(self):
+        bed = Testbed.build([cone("a"), cone("b"), symmetric("s")])
+        session = IceLiteSession(bed)
+        outcomes = session.matrix(["a", "b", "s"])
+        session.close()
+        assert outcomes[("a", "b")].path == "direct"
+        assert outcomes[("a", "s")].path == "relayed"
+        assert all(o.connected for o in outcomes.values())
+
+
+class TestTcpHolePunch:
+    def test_cone_pair_establishes_real_tcp(self):
+        bed = Testbed.build([cone("a"), cone("b")])
+        experiment = TcpHolePunchExperiment(bed)
+        outcome = experiment.attempt("a", "b")
+        experiment.close()
+        assert outcome.success, outcome
+        assert outcome.data_exchanged
+
+    def test_reflexive_ports_reported(self):
+        bed = Testbed.build([cone("a"), cone("b")])
+        experiment = TcpHolePunchExperiment(bed)
+        outcome = experiment.attempt("a", "b")
+        experiment.close()
+        # Port-preserving NATs: the reflexive port equals the local port.
+        assert outcome.reflexive_a[1] == 42100
+        assert outcome.reflexive_b[1] == 42200
+
+    def test_symmetric_pair_fails(self):
+        bed = Testbed.build([symmetric("a"), symmetric("b")])
+        experiment = TcpHolePunchExperiment(bed)
+        outcome = experiment.attempt("a", "b")
+        experiment.close()
+        assert not outcome.success
+
+
+class TestPcap:
+    def test_roundtrip_through_file(self, tmp_path):
+        bed = Testbed.build([cone("a")])
+        port = bed.port("a")
+        trace = PacketTrace.on(port.gateway.wan_iface)
+        sink = bed.server.udp.bind(7000)
+        sink.on_receive = lambda *args: None
+        sock = bed.client.udp.bind(0, port.client_iface_index)
+        sock.send_to(b"capture-me", port.server_ip, 7000)
+        bed.sim.run(until=bed.sim.now + 2)
+        trace.detach()
+        path = tmp_path / "wan.pcap"
+        count = save_trace(trace, str(path))
+        assert count == len(trace.entries) > 0
+        records = read_pcap(str(path))
+        assert len(records) == count
+        # The raw frame must parse back into the translated packet.
+        from repro.packets import EthernetFrame, IPv4Packet
+
+        frame = EthernetFrame.from_bytes(records[0][1], payload_parser=IPv4Packet.from_bytes)
+        assert frame.payload.src == port.gateway.wan_ip
+        assert b"capture-me" in frame.payload.payload.payload
+
+    def test_timestamps_preserved_to_microseconds(self, tmp_path):
+        bed = Testbed.build([cone("a")])
+        port = bed.port("a")
+        trace = PacketTrace.on(port.gateway.wan_iface)
+        sink = bed.server.udp.bind(7000)
+        sink.on_receive = lambda *args: None
+        sock = bed.client.udp.bind(0, port.client_iface_index)
+        sock.send_to(b"t", port.server_ip, 7000)
+        bed.sim.run(until=bed.sim.now + 1)
+        trace.detach()
+        path = tmp_path / "t.pcap"
+        save_trace(trace, str(path))
+        records = read_pcap(str(path))
+        for entry, (timestamp, _raw) in zip(trace.entries, records):
+            assert timestamp == pytest.approx(entry.timestamp, abs=1e-6)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(ValueError, match="magic"):
+            read_pcap(str(path))
