@@ -1,0 +1,63 @@
+"""Simulator-core performance smoke bench.
+
+Times a canned single-device TCP bulk transfer — the hot path the survey
+spends most of its wall-clock in — and records events/sec plus scheduler
+health counters to ``BENCH_core.json`` so future changes have a trajectory
+to compare against.  Unlike the figure benches this one asserts nothing
+about the paper; it only guards the engine's throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.stats import write_bench_json
+from repro.core.throughput import ThroughputProbe
+from repro.devices import catalog_profiles
+from repro.testbed import Testbed
+
+BENCH_CORE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_core.json"
+TRANSFER_BYTES = 512 * 1024
+
+
+def _run_transfer():
+    """One TCP-2 upload/download/bidir run through a single mid-range device."""
+    profile = next(p for p in catalog_profiles() if p.tag == "dl1")
+    bed = Testbed.build([profile], seed=0)
+    probe = ThroughputProbe(transfer_bytes=TRANSFER_BYTES)
+    results = probe.run_all(bed)
+    return bed.sim, results[profile.tag]
+
+
+def test_tcp_transfer_event_rate(benchmark):
+    sim_holder = {}
+
+    def run():
+        sim, result = _run_transfer()
+        sim_holder["sim"] = sim
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+    # Sanity: the transfer actually moved data in all four directions.
+    assert result.upload is not None and result.upload.bytes_moved >= TRANSFER_BYTES
+    assert result.download is not None
+    assert result.upload_bidir is not None and result.download_bidir is not None
+
+    sim = sim_holder["sim"]
+    wall = benchmark.stats.stats.mean
+    payload = {
+        "bench": "tcp2_single_device_transfer",
+        "transfer_bytes": TRANSFER_BYTES,
+        "events_processed": sim.events_processed,
+        "wall_seconds_mean": wall,
+        "events_per_sec": sim.events_processed / wall if wall > 0 else 0.0,
+        "stale_purges": sim.stale_purges,
+        "stale_entries_purged": sim.stale_entries_purged,
+        "throughput_mbps": result.as_mbps(),
+    }
+    write_bench_json(BENCH_CORE_PATH, payload)
+    assert json.loads(BENCH_CORE_PATH.read_text())["events_processed"] > 0

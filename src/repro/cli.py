@@ -7,6 +7,8 @@ Commands:
 * ``survey`` — run several families, optionally exporting CSV series.
 * ``classify`` — STUN-style classification of selected devices.
 * ``compliance`` — grade devices against RFC 4787 / 5382 / 5508.
+* ``bench`` — run a campaign, print and dump its performance counters
+  (``BENCH_survey.json``); ``--jobs N`` shards devices across processes.
 """
 
 from __future__ import annotations
@@ -197,6 +199,7 @@ def cmd_report(args, out) -> int:
         seed=args.seed,
         udp_repetitions=args.repetitions,
         udp5_repetitions=1,
+        jobs=args.jobs,
     )
     results = runner.run(tests=args.tests)
     report = render_report(results, title=f"Home gateway survey ({len(tags)} devices)")
@@ -205,6 +208,48 @@ def cmd_report(args, out) -> int:
         out(f"wrote {args.output}")
     else:
         out(report)
+    return 0
+
+
+def cmd_bench(args, out) -> int:
+    from repro.core import SurveyRunner, write_bench_json
+    from repro.devices import catalog_profiles as _profiles
+
+    tags = _resolve_tags(args.tags)
+    runner = SurveyRunner(
+        profiles=_profiles(tags),
+        seed=args.seed,
+        udp_repetitions=args.repetitions,
+        udp5_repetitions=1,
+        tcp1_cutoff=args.tcp1_cutoff,
+        transfer_bytes=args.transfer_bytes,
+        jobs=args.jobs,
+    )
+    results = runner.run(tests=args.tests)
+    stats = results.stats
+    out(f"devices: {len(tags)}   families: {' '.join(args.tests)}   jobs: {args.jobs}")
+    out(f"elapsed: {runner.last_elapsed:.2f}s wall   {stats.wall_seconds:.2f}s cpu (shard sum)")
+    out(f"events: {stats.events_processed}   events/sec (cpu): {stats.events_per_sec:.0f}")
+    out(f"stale-entry purges: {stats.stale_purges} ({stats.stale_entries_purged} entries)")
+    for family in args.tests:
+        wall = stats.family_wall.get(family, 0.0)
+        events = stats.family_events.get(family, 0)
+        out(f"  {family:>10}  {wall:8.2f}s  {events:>9} events")
+    if args.output:
+        payload = {
+            "campaign": {
+                "devices": len(tags),
+                "tests": list(args.tests),
+                "seed": args.seed,
+                "repetitions": args.repetitions,
+                "tcp1_cutoff": args.tcp1_cutoff,
+                "transfer_bytes": args.transfer_bytes,
+            },
+            "elapsed_wall_seconds": round(runner.last_elapsed, 3),
+            "stats": stats.as_dict(),
+        }
+        write_bench_json(args.output, payload)
+        out(f"wrote {args.output}")
     return 0
 
 
@@ -265,7 +310,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--repetitions", type=int, default=3)
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", help="write the markdown here instead of stdout")
+    report.add_argument("--jobs", type=int, default=1, help="shard devices across N worker processes")
     report.set_defaults(func=cmd_report)
+
+    bench = sub.add_parser("bench", help="time a campaign and dump perf counters")
+    bench.add_argument("--tests", nargs="+", default=["udp1", "tcp2"],
+                       choices=("udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns"))
+    bench.add_argument("--tags", nargs="*")
+    bench.add_argument("--repetitions", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--tcp1-cutoff", type=float, default=600.0)
+    bench.add_argument("--transfer-bytes", type=int, default=512 * 1024)
+    bench.add_argument("--jobs", type=int, default=1)
+    bench.add_argument("--output", help="write BENCH_survey.json here")
+    bench.set_defaults(func=cmd_bench)
 
     comp = sub.add_parser("compliance", help="grade against the IETF BCPs")
     comp.add_argument("--tags", nargs="*")

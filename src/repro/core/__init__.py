@@ -36,6 +36,8 @@ from repro.core.udp_timeouts import (
     UdpTimeoutResult,
     analyze_port_behavior,
 )
+from repro.core.parallel import ShardSpec, merge_shards, run_shards, shard_seed
+from repro.core.stats import SimStats, write_bench_json
 from repro.core.survey import SurveyResults, SurveyRunner
 
 __all__ = [
@@ -79,4 +81,10 @@ __all__ = [
     "analyze_port_behavior",
     "SurveyResults",
     "SurveyRunner",
+    "ShardSpec",
+    "SimStats",
+    "merge_shards",
+    "run_shards",
+    "shard_seed",
+    "write_bench_json",
 ]

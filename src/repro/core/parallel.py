@@ -1,0 +1,115 @@
+"""Process-pool campaign executor: per-device survey sharding.
+
+Every device in the survey runs against its own freshly built
+:class:`~repro.testbed.testbed.Testbed` — one gateway, its own
+:class:`~repro.netsim.sim.Simulation`, its own seeded RNG — so the campaign
+is embarrassingly parallel across devices.  This module shards the campaign
+into one :class:`ShardSpec` per device, runs shards either in-process or on
+a :class:`concurrent.futures.ProcessPoolExecutor`, and merges the picklable
+per-shard results back in catalog order.
+
+Determinism: a shard's seed is derived from the campaign seed and the device
+*tag* (not its position), so
+
+* ``jobs=N`` is bit-identical to ``jobs=1`` — the shard computations are the
+  same work scheduled differently, and the merge is ordered; and
+* running a subset of devices reproduces exactly the per-device results of
+  the full campaign.
+
+When a process pool cannot be created (sandboxes without fork/semaphores),
+execution falls back to serial transparently.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Tuple
+
+from repro.core.stats import SimStats
+from repro.devices.profile import DeviceProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.survey import SurveyResults
+
+__all__ = ["ShardSpec", "shard_seed", "run_shards", "merge_shards"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of campaign work: one device, all selected families."""
+
+    profile: DeviceProfile
+    seed: int
+    tests: Tuple[str, ...]
+    #: Keyword configuration for the shard's :class:`SurveyRunner`.
+    config: Dict[str, Any]
+
+
+def shard_seed(base_seed: int, tag: str) -> int:
+    """Deterministic per-device seed, stable across processes and subsets.
+
+    Derived from the device tag (via CRC-32, which is stable regardless of
+    ``PYTHONHASHSEED``) rather than list position, so a device measures
+    identically whether it is surveyed alone or with the full population.
+    """
+    return (base_seed * 0x9E3779B1 + zlib.crc32(tag.encode("utf-8"))) & 0xFFFFFFFF
+
+
+def _run_shard(spec: ShardSpec) -> Tuple["SurveyResults", SimStats]:
+    # Imported lazily: survey.py imports this module at load time.
+    from repro.core.survey import SurveyRunner
+
+    runner = SurveyRunner(profiles=[spec.profile], seed=spec.seed, **spec.config)
+    return runner.run_shard(spec.tests)
+
+
+def run_shards(specs: List[ShardSpec], jobs: int = 1) -> List[Tuple["SurveyResults", SimStats]]:
+    """Execute shards, serially or across ``jobs`` worker processes.
+
+    Results come back in ``specs`` order regardless of completion order, so
+    the downstream merge is deterministic.
+    """
+    if jobs <= 1 or len(specs) <= 1:
+        return [_run_shard(spec) for spec in specs]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            futures = [pool.submit(_run_shard, spec) for spec in specs]
+            return [future.result() for future in futures]
+    except (OSError, PermissionError, pickle.PicklingError, BrokenProcessPool) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); campaign falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [_run_shard(spec) for spec in specs]
+
+
+def merge_shards(shard_results: Iterable["SurveyResults"]) -> "SurveyResults":
+    """Ordered merge of per-device shard results into one campaign result.
+
+    Every family field is a dict keyed by device tag except ``udp5``, which
+    is keyed service-first; shards arrive in catalog order, so tag insertion
+    order in the merged dicts matches a serial run.
+    """
+    from repro.core.survey import SurveyResults
+
+    merged = SurveyResults()
+    for shard in shard_results:
+        merged.udp1.update(shard.udp1)
+        merged.udp2.update(shard.udp2)
+        merged.udp3.update(shard.udp3)
+        merged.udp4.update(shard.udp4)
+        for service, per_device in shard.udp5.items():
+            merged.udp5.setdefault(service, {}).update(per_device)
+        merged.tcp1.update(shard.tcp1)
+        merged.tcp2.update(shard.tcp2)
+        merged.tcp4.update(shard.tcp4)
+        merged.icmp.update(shard.icmp)
+        merged.transports.update(shard.transports)
+        merged.dns.update(shard.dns)
+    return merged

@@ -1,0 +1,82 @@
+"""Lightweight performance counters for the measurement campaign.
+
+:class:`SimStats` aggregates what the simulator core and the campaign driver
+already know — events processed, stale-entry purges, wall-clock per
+experiment family — into one machine-readable block.  :class:`SurveyRunner`
+attaches it to its results and can dump it as ``BENCH_survey.json`` so every
+future optimisation PR has a trajectory to beat.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+
+@dataclass
+class SimStats:
+    """Counters for one campaign run (or one shard of it)."""
+
+    #: Simulator events processed, summed over every testbed the run built.
+    events_processed: int = 0
+    #: Wall-clock seconds spent inside the measurement families.
+    wall_seconds: float = 0.0
+    #: Heap compaction passes run by the schedulers.
+    stale_purges: int = 0
+    #: Dead heap entries dropped by those passes.
+    stale_entries_purged: int = 0
+    #: Wall-clock seconds per experiment family.
+    family_wall: Dict[str, float] = field(default_factory=dict)
+    #: Simulator events per experiment family.
+    family_events: Dict[str, int] = field(default_factory=dict)
+    #: Worker processes that executed shards (1 == serial).
+    jobs: int = 1
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulated events per wall-clock second (0 when nothing ran)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
+
+    def note_family(self, family: str, wall: float, events: int) -> None:
+        self.family_wall[family] = self.family_wall.get(family, 0.0) + wall
+        self.family_events[family] = self.family_events.get(family, 0) + events
+        self.events_processed += events
+
+    def merge(self, other: "SimStats") -> None:
+        """Fold a shard's counters into this aggregate.
+
+        Wall-clock is summed: under parallel execution the aggregate is CPU
+        seconds across workers, not elapsed time (the runner records elapsed
+        time separately in the bench dump).
+        """
+        self.events_processed += other.events_processed
+        self.wall_seconds += other.wall_seconds
+        self.stale_purges += other.stale_purges
+        self.stale_entries_purged += other.stale_entries_purged
+        for family, wall in other.family_wall.items():
+            self.family_wall[family] = self.family_wall.get(family, 0.0) + wall
+        for family, events in other.family_events.items():
+            self.family_events[family] = self.family_events.get(family, 0) + events
+
+    def as_dict(self) -> Dict:
+        return {
+            "events_processed": self.events_processed,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "stale_purges": self.stale_purges,
+            "stale_entries_purged": self.stale_entries_purged,
+            "family_wall": {k: round(v, 6) for k, v in self.family_wall.items()},
+            "family_events": dict(self.family_events),
+            "jobs": self.jobs,
+        }
+
+
+def write_bench_json(path: Union[str, pathlib.Path], payload: Dict) -> pathlib.Path:
+    """Write a machine-readable benchmark record (``BENCH_*.json``)."""
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,18 +1,29 @@
 """Run the paper's entire measurement campaign in one call.
 
 :class:`SurveyRunner` executes every experiment family against the device
-population, each on a fresh testbed instance (deterministic isolation —
-residual NAT state from one test family can never contaminate another),
-with the paper's parallel/serial discipline per test.
+population.  The campaign is sharded per device: each device gets its own
+fresh testbed per family (deterministic isolation — residual NAT state from
+one test family can never contaminate another, and no device shares a
+simulation with another), seeded from the campaign seed and the device tag.
+Shards run serially by default, or across worker processes with ``jobs=N``;
+both schedules produce field-for-field identical results.
+
+Within a shard the paper's parallel/serial discipline per test is preserved:
+a family probe still runs its measurement tasks concurrently in simulated
+time, and the serial-only throughput test (§3.1) keeps its bottleneck queue
+alone in its own simulation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dns_tests import DnsProxyResult, DnsProxyTest
 from repro.core.icmp_tests import IcmpTestResult, IcmpTranslationTest
+from repro.core.parallel import ShardSpec, merge_shards, run_shards, shard_seed
+from repro.core.stats import SimStats
 from repro.core.tcp_binding import (
     TcpBindingCapacityProbe,
     TcpBindingCapacityResult,
@@ -35,7 +46,12 @@ from repro.testbed.testbed import Testbed
 
 @dataclass
 class SurveyResults:
-    """Everything the campaign produced, keyed the way the paper reports it."""
+    """Everything the campaign produced, keyed the way the paper reports it.
+
+    ``stats`` carries the run's performance counters; it is excluded from
+    equality so that two runs of the same campaign (e.g. serial vs parallel)
+    compare equal on what was *measured*, not on how fast it went.
+    """
 
     udp1: Dict[str, UdpTimeoutResult] = field(default_factory=dict)
     udp2: Dict[str, UdpTimeoutResult] = field(default_factory=dict)
@@ -48,6 +64,7 @@ class SurveyResults:
     icmp: Dict[str, IcmpTestResult] = field(default_factory=dict)
     transports: Dict[str, Dict[str, TransportSupportResult]] = field(default_factory=dict)
     dns: Dict[str, DnsProxyResult] = field(default_factory=dict)
+    stats: Optional[SimStats] = field(default=None, compare=False)
 
 
 class SurveyRunner:
@@ -64,45 +81,113 @@ class SurveyRunner:
         udp5_repetitions: int = 1,
         tcp1_cutoff: float = 24 * 3600.0,
         transfer_bytes: int = 2 * 1024 * 1024,
+        jobs: int = 1,
     ):
         self.profiles = list(profiles if profiles is not None else catalog_profiles())
+        tags = [profile.tag for profile in self.profiles]
+        if len(set(tags)) != len(tags):
+            raise ValueError(f"duplicate device tags in survey population: {tags}")
         self.seed = seed
         self.udp_repetitions = udp_repetitions
         self.udp5_repetitions = udp5_repetitions
         self.tcp1_cutoff = tcp1_cutoff
         self.transfer_bytes = transfer_bytes
+        self.jobs = max(1, int(jobs))
+        #: Elapsed wall-clock of the last :meth:`run` (set after it returns).
+        self.last_elapsed: Optional[float] = None
 
     def _fresh_testbed(self) -> Testbed:
         return Testbed.build(self.profiles, seed=self.seed)
 
-    def run(self, tests: Optional[Sequence[str]] = None) -> SurveyResults:
-        """Run the selected experiment families (all by default)."""
+    def _shard_config(self) -> Dict:
+        return {
+            "udp_repetitions": self.udp_repetitions,
+            "udp5_repetitions": self.udp5_repetitions,
+            "tcp1_cutoff": self.tcp1_cutoff,
+            "transfer_bytes": self.transfer_bytes,
+        }
+
+    def _validate(self, tests: Optional[Sequence[str]]) -> List[str]:
         selected = list(tests if tests is not None else self.ALL_TESTS)
         unknown = set(selected) - set(self.ALL_TESTS)
         if unknown:
             raise ValueError(f"unknown tests: {sorted(unknown)}")
+        return selected
+
+    def run(self, tests: Optional[Sequence[str]] = None) -> SurveyResults:
+        """Run the selected experiment families (all by default).
+
+        The campaign is sharded per device with tag-derived seeds, so the
+        result is independent of ``jobs`` and of which other devices are in
+        the population.
+        """
+        selected = self._validate(tests)
+        specs = [
+            ShardSpec(
+                profile=profile,
+                seed=shard_seed(self.seed, profile.tag),
+                tests=tuple(selected),
+                config=self._shard_config(),
+            )
+            for profile in self.profiles
+        ]
+        started = time.perf_counter()
+        shard_outcomes = run_shards(specs, jobs=self.jobs)
+        elapsed = time.perf_counter() - started
+        results = merge_shards(outcome for outcome, _stats in shard_outcomes)
+        stats = SimStats(jobs=self.jobs)
+        for _outcome, shard_stats in shard_outcomes:
+            stats.merge(shard_stats)
+        results.stats = stats
+        self.last_elapsed = elapsed
+        return results
+
+    # -- shard engine (one device, all families; used by the workers) -------
+
+    def run_shard(self, tests: Optional[Sequence[str]] = None) -> Tuple[SurveyResults, SimStats]:
+        """Run the selected families serially on this runner's population.
+
+        This is the per-shard execution engine behind :meth:`run`; it builds
+        one fresh testbed per family and records per-family wall time and
+        simulator event counts.
+        """
+        selected = self._validate(tests)
         results = SurveyResults()
+        stats = SimStats()
+
+        def timed(family: str, probe_call) -> Dict:
+            bed = self._fresh_testbed()
+            started = time.perf_counter()
+            outcome = probe_call(bed)
+            wall = time.perf_counter() - started
+            stats.note_family(family, wall, bed.sim.events_processed)
+            stats.wall_seconds += wall
+            stats.stale_purges += bed.sim.stale_purges
+            stats.stale_entries_purged += bed.sim.stale_entries_purged
+            return outcome
+
         if "udp1" in selected:
-            results.udp1 = UdpTimeoutProbe.udp1(repetitions=self.udp_repetitions).run_all(self._fresh_testbed())
+            results.udp1 = timed("udp1", UdpTimeoutProbe.udp1(repetitions=self.udp_repetitions).run_all)
             results.udp4 = {
                 tag: analyze_port_behavior(result) for tag, result in results.udp1.items()
             }
         if "udp2" in selected:
-            results.udp2 = UdpTimeoutProbe.udp2(repetitions=self.udp_repetitions).run_all(self._fresh_testbed())
+            results.udp2 = timed("udp2", UdpTimeoutProbe.udp2(repetitions=self.udp_repetitions).run_all)
         if "udp3" in selected:
-            results.udp3 = UdpTimeoutProbe.udp3(repetitions=self.udp_repetitions).run_all(self._fresh_testbed())
+            results.udp3 = timed("udp3", UdpTimeoutProbe.udp3(repetitions=self.udp_repetitions).run_all)
         if "udp5" in selected:
-            results.udp5 = UdpServiceProbe(repetitions=self.udp5_repetitions).run_all(self._fresh_testbed())
+            results.udp5 = timed("udp5", UdpServiceProbe(repetitions=self.udp5_repetitions).run_all)
         if "tcp1" in selected:
-            results.tcp1 = TcpTimeoutProbe(cutoff=self.tcp1_cutoff).run_all(self._fresh_testbed())
+            results.tcp1 = timed("tcp1", TcpTimeoutProbe(cutoff=self.tcp1_cutoff).run_all)
         if "tcp2" in selected:
-            results.tcp2 = ThroughputProbe(transfer_bytes=self.transfer_bytes).run_all(self._fresh_testbed())
+            results.tcp2 = timed("tcp2", ThroughputProbe(transfer_bytes=self.transfer_bytes).run_all)
         if "tcp4" in selected:
-            results.tcp4 = TcpBindingCapacityProbe().run_all(self._fresh_testbed())
+            results.tcp4 = timed("tcp4", TcpBindingCapacityProbe().run_all)
         if "icmp" in selected:
-            results.icmp = IcmpTranslationTest().run_all(self._fresh_testbed())
+            results.icmp = timed("icmp", IcmpTranslationTest().run_all)
         if "transports" in selected:
-            results.transports = TransportSupportTest().run_all(self._fresh_testbed())
+            results.transports = timed("transports", TransportSupportTest().run_all)
         if "dns" in selected:
-            results.dns = DnsProxyTest().run_all(self._fresh_testbed())
-        return results
+            results.dns = timed("dns", DnsProxyTest().run_all)
+        results.stats = stats
+        return results, stats

@@ -213,6 +213,10 @@ class HomeGateway(Host):
                 from repro.packets.tcp import TCPOPT_MSS
 
                 segment.options = [opt for opt in segment.options if opt.kind == TCPOPT_MSS]
+                # Stripping options changed the segment, so the checksum must
+                # be recomputed here — the NAT rewrite downstream only applies
+                # an incremental address/port update to a consistent base.
+                segment.fill_checksum(packet.src, packet.dst)
         refresh_ip_checksum(packet)
         return True
 

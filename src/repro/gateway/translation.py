@@ -4,6 +4,17 @@ All translation happens on *copies* — the original packet object may still
 be referenced by traces or by the sender — and checksums are either fixed or
 deliberately left stale according to the device's policy, so checksum bugs
 (zy1, ls1) stay observable on the wire.
+
+Checksum fixing uses RFC 1624 incremental updates over only the rewritten
+address/port words (the same trick real NAT datapaths use): starting from a
+checksum consistent with the packet, folding out the old words and folding
+in the new ones is exactly equal to a full recomputation, at O(rewritten
+words) instead of O(packet).  The full recompute survives as the fallback
+for transports whose checksum we cannot update incrementally (SCTP's CRC,
+DCCP) and for packets that arrive without a checksum to update.
+
+Per RFC 3022 §4.1 a UDP zero checksum means "no checksum was generated" and
+must be forwarded untouched, not updated.
 """
 
 from __future__ import annotations
@@ -11,6 +22,7 @@ from __future__ import annotations
 from ipaddress import IPv4Address
 from typing import Optional
 
+from repro.packets.checksum import incremental_update
 from repro.packets.clone import clone_packet
 from repro.packets.dccp import DccpPacket
 from repro.packets.ipv4 import IPv4Packet
@@ -26,23 +38,58 @@ __all__ = [
     "refresh_ip_checksum",
 ]
 
+_PORT_REWRITE_TRANSPORTS = (UdpDatagram, TcpSegment, SctpPacket, DccpPacket)
+
 
 def rewrite_source(packet: IPv4Packet, new_ip: IPv4Address, new_port: Optional[int]) -> None:
     """SNAT: rewrite source address (and port) and fix the checksums."""
-    packet.src = new_ip
-    transport = packet.payload
-    if new_port is not None and isinstance(transport, (UdpDatagram, TcpSegment, SctpPacket, DccpPacket)):
-        transport.src_port = new_port
-    _refresh_checksums(packet)
+    _rewrite(packet, "src", "src_port", new_ip, new_port)
 
 
 def rewrite_destination(packet: IPv4Packet, new_ip: IPv4Address, new_port: Optional[int]) -> None:
     """DNAT: rewrite destination address (and port) and fix the checksums."""
-    packet.dst = new_ip
+    _rewrite(packet, "dst", "dst_port", new_ip, new_port)
+
+
+def _rewrite(packet: IPv4Packet, ip_attr: str, port_attr: str, new_ip: IPv4Address, new_port: Optional[int]) -> None:
     transport = packet.payload
-    if new_port is not None and isinstance(transport, (UdpDatagram, TcpSegment, SctpPacket, DccpPacket)):
-        transport.dst_port = new_port
-    _refresh_checksums(packet)
+    old_ip: IPv4Address = getattr(packet, ip_attr)
+    old_words = old_ip.packed
+    new_words = new_ip.packed
+    setattr(packet, ip_attr, new_ip)
+    if new_port is not None and isinstance(transport, _PORT_REWRITE_TRANSPORTS):
+        old_port: int = getattr(transport, port_attr)
+        old_words += old_port.to_bytes(2, "big")
+        new_words += new_port.to_bytes(2, "big")
+        setattr(transport, port_attr, new_port)
+    _update_transport_checksum(packet, transport, old_words, new_words)
+    _update_ip_checksum(packet, old_ip, new_ip)
+
+
+def _update_transport_checksum(packet: IPv4Packet, transport, old_words: bytes, new_words: bytes) -> None:
+    if isinstance(transport, UdpDatagram):
+        if transport.checksum == 0:
+            return  # RFC 3022: a zero UDP checksum means "none"; forward as-is
+        if transport.checksum is not None:
+            updated = incremental_update(transport.checksum, old_words, new_words)
+            # RFC 768: an all-zero computed checksum is transmitted as 0xFFFF.
+            transport.checksum = updated or 0xFFFF
+            return
+    elif isinstance(transport, TcpSegment):
+        if transport.checksum is not None:
+            transport.checksum = incremental_update(transport.checksum, old_words, new_words)
+            return
+    # No base checksum to update, or a transport (SCTP CRC, DCCP) we only
+    # know how to recompute in full.
+    if hasattr(transport, "fill_checksum"):
+        transport.fill_checksum(packet.src, packet.dst)
+
+
+def _update_ip_checksum(packet: IPv4Packet, old_ip: IPv4Address, new_ip: IPv4Address) -> None:
+    if packet.header_checksum is not None:
+        packet.header_checksum = incremental_update(packet.header_checksum, old_ip.packed, new_ip.packed)
+    else:
+        packet.header_checksum = packet.compute_header_checksum()
 
 
 def rewrite_ip_only(packet: IPv4Packet, src: Optional[IPv4Address] = None, dst: Optional[IPv4Address] = None) -> None:
@@ -56,13 +103,6 @@ def rewrite_ip_only(packet: IPv4Packet, src: Optional[IPv4Address] = None, dst: 
         packet.src = src
     if dst is not None:
         packet.dst = dst
-    packet.header_checksum = packet.compute_header_checksum()
-
-
-def _refresh_checksums(packet: IPv4Packet) -> None:
-    transport = packet.payload
-    if hasattr(transport, "fill_checksum"):
-        transport.fill_checksum(packet.src, packet.dst)
     packet.header_checksum = packet.compute_header_checksum()
 
 

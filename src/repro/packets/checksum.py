@@ -52,6 +52,31 @@ def internet_checksum(data: bytes) -> int:
     return (~total) & 0xFFFF
 
 
+def incremental_update(checksum: int, old_bytes: bytes, new_bytes: bytes) -> int:
+    """RFC 1624 incremental checksum update (eqn. 3): ``HC' = ~(~HC + ~m + m')``.
+
+    ``old_bytes``/``new_bytes`` are the rewritten 16-bit-aligned header words
+    (addresses, ports) before and after translation.  This is how real NAT
+    datapaths fix checksums — O(rewritten words), not O(packet) — and it is
+    exact: starting from a checksum consistent with ``old_bytes``, the result
+    equals a full recomputation over the rewritten packet.
+
+    The full recompute (:func:`internet_checksum_reference`) is kept as the
+    property-test oracle for this function.
+    """
+    if len(old_bytes) != len(new_bytes):
+        raise ValueError("old/new rewrite material must have equal length")
+    if len(old_bytes) % 2:
+        raise ValueError("rewrite material must be 16-bit aligned")
+    total = (~checksum) & 0xFFFF
+    for i in range(0, len(old_bytes), 2):
+        total += (~((old_bytes[i] << 8) | old_bytes[i + 1])) & 0xFFFF
+        total += (new_bytes[i] << 8) | new_bytes[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
 def pseudo_header(src: IPv4Address, dst: IPv4Address, protocol: int, length: int) -> bytes:
     """The IPv4 pseudo-header prepended for UDP/TCP/DCCP checksums."""
     if not 0 <= protocol <= 0xFF:

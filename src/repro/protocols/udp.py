@@ -152,7 +152,9 @@ class UdpManager:
         datagram = packet.payload
         if not isinstance(datagram, UdpDatagram):
             return
-        if self.host.validate_checksums and datagram.checksum is not None:
+        # RFC 768: a zero checksum means the transmitter generated none, so
+        # there is nothing to verify (NATs forward it untouched, per RFC 3022).
+        if self.host.validate_checksums and datagram.checksum not in (None, 0):
             if not datagram.checksum_ok(packet.src, packet.dst):
                 self.host.checksum_drops += 1
                 return

@@ -7,6 +7,7 @@ from hypothesis import given, strategies as st
 
 from repro.packets.checksum import (
     crc32c,
+    incremental_update,
     internet_checksum,
     internet_checksum_reference,
     pseudo_header,
@@ -56,6 +57,123 @@ def test_pseudo_header_validates_ranges():
         pseudo_header(src, dst, 256, 0)
     with pytest.raises(ValueError):
         pseudo_header(src, dst, 6, 70000)
+
+
+# ---------------------------------------------------------------------------
+# RFC 1624 incremental update — the NAT datapath's checksum fix — against the
+# full-recompute oracle.
+# ---------------------------------------------------------------------------
+
+ip_addresses = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@given(
+    payload=st.binary(max_size=512),
+    src=ip_addresses, dst=ip_addresses,
+    src_port=ports, dst_port=ports,
+    new_src=ip_addresses, new_src_port=ports,
+)
+def test_incremental_update_equals_full_recompute_udp(payload, src, dst, src_port, dst_port, new_src, new_src_port):
+    """SNAT address+port rewrite on UDP: incremental ≡ full recompute."""
+    from repro.packets.udp import UdpDatagram
+
+    datagram = UdpDatagram(src_port, dst_port, payload)
+    datagram.fill_checksum(src, dst)
+    updated = incremental_update(
+        datagram.checksum,
+        src.packed + src_port.to_bytes(2, "big"),
+        new_src.packed + new_src_port.to_bytes(2, "big"),
+    )
+    datagram.src_port = new_src_port
+    # RFC 768 zero-maps-to-0xFFFF on the recompute side as well.
+    assert (updated or 0xFFFF) == datagram.compute_checksum(new_src, dst)
+
+
+@given(
+    payload=st.binary(max_size=512),
+    src=ip_addresses, dst=ip_addresses,
+    src_port=ports, dst_port=ports,
+    new_dst=ip_addresses, new_dst_port=ports,
+    seq=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_incremental_update_equals_full_recompute_tcp(payload, src, dst, src_port, dst_port, new_dst, new_dst_port, seq):
+    """DNAT address+port rewrite on TCP: incremental ≡ full recompute."""
+    from repro.packets.tcp import TCP_ACK, TcpSegment
+
+    segment = TcpSegment(src_port, dst_port, seq=seq, flags=TCP_ACK, payload=payload)
+    segment.fill_checksum(src, dst)
+    updated = incremental_update(
+        segment.checksum,
+        dst.packed + dst_port.to_bytes(2, "big"),
+        new_dst.packed + new_dst_port.to_bytes(2, "big"),
+    )
+    segment.dst_port = new_dst_port
+    assert updated == segment.compute_checksum(src, new_dst)
+
+
+@given(data=st.binary(min_size=2, max_size=64).filter(lambda d: len(d) % 2 == 0),
+       old=st.binary(min_size=4, max_size=4), new=st.binary(min_size=4, max_size=4))
+def test_incremental_update_matches_reference_oracle(data, old, new):
+    """The pure-words property against the byte-at-a-time reference: for a
+    message containing ``old``, updating the checksum incrementally equals
+    recomputing over the message with ``old`` replaced by ``new``.
+
+    Equality is up to one's-complement ±0: on an all-zero message the
+    recompute yields 0xFFFF while the update yields 0x0000 — the two
+    representations of zero (RFC 1624 §3).  Real TCP/UDP checksums cover a
+    pseudo-header whose protocol and length words are nonzero, so the
+    degenerate case never reaches the datapath (the packet-level tests
+    below assert strict equality)."""
+    checksum = internet_checksum_reference(old + data)
+    updated = incremental_update(checksum, old, new)
+    reference = internet_checksum_reference(new + data)
+    assert (updated - reference) % 0xFFFF == 0
+
+
+def test_incremental_update_rejects_misaligned_material():
+    with pytest.raises(ValueError):
+        incremental_update(0, b"\x01", b"\x02")
+    with pytest.raises(ValueError):
+        incremental_update(0, b"\x01\x02", b"\x03")
+
+
+def test_udp_zero_checksum_not_updated_by_nat():
+    """RFC 3022 §4.1: a zero UDP checksum means "none" and the NAT must
+    forward it untouched, not update it."""
+    from ipaddress import IPv4Address as A
+
+    from repro.gateway.translation import rewrite_source
+    from repro.packets.ipv4 import PROTO_UDP, IPv4Packet
+    from repro.packets.udp import UdpDatagram
+
+    datagram = UdpDatagram(5000, 7000, b"hello", checksum=0)
+    packet = IPv4Packet(A("192.168.1.2"), A("10.0.1.1"), PROTO_UDP, datagram)
+    packet.header_checksum = packet.compute_header_checksum()
+    rewrite_source(packet, A("10.0.1.254"), 30000)
+    assert packet.payload.checksum == 0
+    assert packet.src == A("10.0.1.254")
+    assert packet.payload.src_port == 30000
+    assert packet.header_checksum_ok()
+
+
+def test_nat_rewrite_preserves_checksum_validity_end_to_end():
+    """After an incremental SNAT rewrite the packet verifies like a fresh one."""
+    from ipaddress import IPv4Address as A
+
+    from repro.gateway.translation import rewrite_destination, rewrite_source
+    from repro.packets.ipv4 import PROTO_TCP, IPv4Packet
+    from repro.packets.tcp import TCP_ACK, TcpSegment
+
+    segment = TcpSegment(40000, 80, seq=1234, ack=99, flags=TCP_ACK, payload=b"x" * 100)
+    packet = IPv4Packet(A("192.168.1.2"), A("10.0.1.1"), PROTO_TCP, segment)
+    packet.fill_checksums()
+    rewrite_source(packet, A("10.0.1.254"), 61000)
+    assert packet.header_checksum_ok()
+    assert packet.payload.checksum_ok(packet.src, packet.dst)
+    rewrite_destination(packet, A("192.168.77.3"), 8080)
+    assert packet.header_checksum_ok()
+    assert packet.payload.checksum_ok(packet.src, packet.dst)
 
 
 def test_crc32c_known_vectors():

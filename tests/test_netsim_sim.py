@@ -153,3 +153,97 @@ def test_pending_events(sim):
     assert sim.pending_events == 2
     sim.run()
     assert sim.pending_events == 0
+
+
+# ---------------------------------------------------------------------------
+# Timer generation counter: stale heap entries must never fire, even when
+# deadlines coincide exactly.
+# ---------------------------------------------------------------------------
+
+
+def test_timer_restart_to_coincident_deadline_fires_once(sim):
+    """A timer restarted to the *same* absolute deadline must fire exactly
+    once.  (A float-equality liveness check would let the stale entry fire.)"""
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.restart(1.0)  # same deadline, new generation
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_timer_cancel_then_restart_to_same_deadline_fires_once(sim):
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.cancel()
+    timer.start(1.0)
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_timer_restarted_from_coincident_event_not_fired_by_stale_entry(sim):
+    """An event at t=1 re-arms the timer to a deadline that is *also* t=1.
+    The stale entry (still queued at t=1, behind the re-arming event) must
+    not fire the re-armed timer; only the generation-current entry does."""
+    fired = []
+    timer = sim.timer(lambda: fired.append("timer"))
+
+    def rearm():
+        timer.restart(0.0)  # deadline == now == the stale entry's deadline
+        fired.append("rearm")
+
+    sim.schedule(1.0, rearm)  # runs before the timer's original entry pops
+    timer.start(1.0)
+    sim.run()
+    assert fired == ["rearm", "timer"]
+
+
+def test_pending_events_excludes_stale_timer_entries(sim):
+    timers = [sim.timer(lambda: None) for _ in range(10)]
+    for timer in timers:
+        timer.start(5.0)
+    assert sim.pending_events == 10
+    for timer in timers[:6]:
+        timer.cancel()
+    # Six heap entries are now dead; pending_events reports live ones only.
+    assert sim.pending_events == 4
+    for timer in timers[6:]:
+        timer.restart(7.0)  # supersedes 4 more entries
+    assert sim.pending_events == 4
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_heap_compaction_purges_stale_entries(sim):
+    """Cancelling most of a large timer population triggers compaction and
+    the survivors still fire correctly."""
+    fired = []
+    timers = [sim.timer(fired.append, i) for i in range(200)]
+    for timer in timers:
+        timer.start(10.0)
+    for timer in timers[:190]:
+        timer.cancel()
+    # Scheduling pressure triggers the purge (dead fraction > 1/2).
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    assert sim.stale_purges >= 1
+    assert sim.stale_entries_purged >= 150
+    sim.run()
+    assert sorted(fired) == list(range(190, 200))
+    assert sim.pending_events == 0
+
+
+def test_compaction_keeps_rearmed_timers_live(sim):
+    """A timer restarted many times leaves stale entries; compaction must
+    keep exactly the generation-current entry."""
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    for _ in range(100):
+        timer.restart(3.0)
+    filler = [sim.timer(lambda: None) for _ in range(40)]
+    for extra in filler:
+        extra.start(1.0)  # scheduling pressure to trigger compaction
+    assert sim.stale_purges >= 1
+    sim.run()
+    assert fired == [3.0]
