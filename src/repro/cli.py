@@ -54,6 +54,26 @@ def _build_bed(tags: Sequence[str], seed: int) -> Testbed:
     return Testbed.build(catalog_profiles(tags), seed=seed)
 
 
+def _parse_chaos(args):
+    """Parse ``--impair``/``--fault`` flags into campaign chaos config."""
+    from repro.gateway.faults import FaultSpec
+    from repro.netsim.impair import Impairment
+
+    try:
+        impairment = Impairment.parse(args.impair) if args.impair else None
+        faults = [FaultSpec.parse(text) for text in (args.fault or [])]
+    except ValueError as exc:
+        raise SystemExit(f"bad chaos spec: {exc}") from None
+    return impairment, faults
+
+
+def _report_errors(results, out) -> None:
+    if results.errors:
+        out(f"\n{len(results.errors)} shard(s) failed:")
+        for error in results.errors:
+            out(f"  {error}")
+
+
 def _series_from_timeouts(results, name: str, unit: str, cutoff: Optional[float] = None) -> DeviceSeries:
     series = DeviceSeries(name, unit)
     for tag, result in results.items():
@@ -194,12 +214,15 @@ def cmd_report(args, out) -> int:
     from repro.devices import catalog_profiles as _profiles
 
     tags = _resolve_tags(args.tags)
+    impairment, faults = _parse_chaos(args)
     runner = SurveyRunner(
         profiles=_profiles(tags),
         seed=args.seed,
         udp_repetitions=args.repetitions,
         udp5_repetitions=1,
         jobs=args.jobs,
+        impairment=impairment,
+        faults=faults,
     )
     results = runner.run(tests=args.tests)
     report = render_report(results, title=f"Home gateway survey ({len(tags)} devices)")
@@ -208,6 +231,7 @@ def cmd_report(args, out) -> int:
         out(f"wrote {args.output}")
     else:
         out(report)
+    _report_errors(results, out)
     return 0
 
 
@@ -216,6 +240,7 @@ def cmd_bench(args, out) -> int:
     from repro.devices import catalog_profiles as _profiles
 
     tags = _resolve_tags(args.tags)
+    impairment, faults = _parse_chaos(args)
     runner = SurveyRunner(
         profiles=_profiles(tags),
         seed=args.seed,
@@ -224,10 +249,14 @@ def cmd_bench(args, out) -> int:
         tcp1_cutoff=args.tcp1_cutoff,
         transfer_bytes=args.transfer_bytes,
         jobs=args.jobs,
+        impairment=impairment,
+        faults=faults,
     )
     results = runner.run(tests=args.tests)
     stats = results.stats
     out(f"devices: {len(tags)}   families: {' '.join(args.tests)}   jobs: {args.jobs}")
+    if impairment is not None or faults:
+        out(f"impairment: {args.impair or 'none'}   faults: {', '.join(args.fault or []) or 'none'}")
     out(f"elapsed: {runner.last_elapsed:.2f}s wall   {stats.wall_seconds:.2f}s cpu (shard sum)")
     out(f"events: {stats.events_processed}   events/sec (cpu): {stats.events_per_sec:.0f}")
     out(f"stale-entry purges: {stats.stale_purges} ({stats.stale_entries_purged} entries)")
@@ -235,6 +264,7 @@ def cmd_bench(args, out) -> int:
         wall = stats.family_wall.get(family, 0.0)
         events = stats.family_events.get(family, 0)
         out(f"  {family:>10}  {wall:8.2f}s  {events:>9} events")
+    _report_errors(results, out)
     if args.output:
         payload = {
             "campaign": {
@@ -244,8 +274,14 @@ def cmd_bench(args, out) -> int:
                 "repetitions": args.repetitions,
                 "tcp1_cutoff": args.tcp1_cutoff,
                 "transfer_bytes": args.transfer_bytes,
+                "impairment": impairment.describe() if impairment is not None else None,
+                "faults": [fault.describe() for fault in faults],
             },
             "elapsed_wall_seconds": round(runner.last_elapsed, 3),
+            "shard_errors": [
+                {"tag": error.tag, "family": error.family, "error": error.error, "message": error.message}
+                for error in results.errors
+            ],
             "stats": stats.as_dict(),
         }
         write_bench_json(args.output, payload)
@@ -311,6 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", help="write the markdown here instead of stdout")
     report.add_argument("--jobs", type=int, default=1, help="shard devices across N worker processes")
+    report.add_argument("--impair", help="link impairment, e.g. loss=0.01,reorder=5ms,dup=0.001")
+    report.add_argument("--fault", action="append",
+                        help="gateway fault, e.g. crash@t=30,boot=never,device=dl8 (repeatable)")
     report.set_defaults(func=cmd_report)
 
     bench = sub.add_parser("bench", help="time a campaign and dump perf counters")
@@ -322,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tcp1-cutoff", type=float, default=600.0)
     bench.add_argument("--transfer-bytes", type=int, default=512 * 1024)
     bench.add_argument("--jobs", type=int, default=1)
+    bench.add_argument("--impair", help="link impairment, e.g. loss=0.01,reorder=5ms,dup=0.001")
+    bench.add_argument("--fault", action="append",
+                       help="gateway fault, e.g. crash@t=30,boot=never,device=dl8 (repeatable)")
     bench.add_argument("--output", help="write BENCH_survey.json here")
     bench.set_defaults(func=cmd_bench)
 

@@ -36,7 +36,14 @@ from repro.core.udp_timeouts import (
     UdpTimeoutResult,
     analyze_port_behavior,
 )
-from repro.core.parallel import ShardSpec, merge_shards, run_shards, shard_seed
+from repro.core.parallel import (
+    ShardError,
+    ShardFailure,
+    ShardSpec,
+    merge_shards,
+    run_shards,
+    shard_seed,
+)
 from repro.core.stats import SimStats, write_bench_json
 from repro.core.survey import SurveyResults, SurveyRunner
 
@@ -81,6 +88,8 @@ __all__ = [
     "analyze_port_behavior",
     "SurveyResults",
     "SurveyRunner",
+    "ShardError",
+    "ShardFailure",
     "ShardSpec",
     "SimStats",
     "merge_shards",

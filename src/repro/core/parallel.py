@@ -16,19 +16,24 @@ Determinism: a shard's seed is derived from the campaign seed and the device
 * running a subset of devices reproduces exactly the per-device results of
   the full campaign.
 
-When a process pool cannot be created (sandboxes without fork/semaphores),
-execution falls back to serial transparently.
+Resilience: one shard's failure never aborts the campaign.  A deterministic
+measurement failure (a probe raising, a watchdog expiring) comes back as a
+:class:`ShardError` in that shard's slot; every other shard keeps its
+result.  Infrastructure casualties — a broken pool, a sandbox without
+fork/semaphores, a pickling refusal — are retried, and only the shards that
+actually lost their worker re-run serially; completed results are reused.
 """
 
 from __future__ import annotations
 
 import pickle
+import time
 import warnings
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.stats import SimStats
 from repro.devices.profile import DeviceProfile
@@ -36,7 +41,19 @@ from repro.devices.profile import DeviceProfile
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.survey import SurveyResults
 
-__all__ = ["ShardSpec", "shard_seed", "run_shards", "merge_shards"]
+__all__ = [
+    "ShardError",
+    "ShardFailure",
+    "ShardSpec",
+    "shard_seed",
+    "run_shards",
+    "merge_shards",
+]
+
+#: Errors that mean the *infrastructure* failed, not the measurement: worth
+#: retrying, and worth falling back to serial execution for.  Anything else
+#: is treated as deterministic — retrying would reproduce it exactly.
+TRANSIENT_ERRORS = (OSError, pickle.PicklingError, BrokenProcessPool)
 
 
 @dataclass(frozen=True)
@@ -48,6 +65,62 @@ class ShardSpec:
     tests: Tuple[str, ...]
     #: Keyword configuration for the shard's :class:`SurveyRunner`.
     config: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ShardError:
+    """One shard's failure, preserved in the campaign results.
+
+    ``attempts`` records how many executions it took to reach this verdict
+    (transient infrastructure errors are retried); it is excluded from
+    equality because the retry count depends on the execution schedule, and
+    ``jobs=N`` must stay field-for-field identical to ``jobs=1``.
+    """
+
+    #: Device tag of the failed shard.
+    tag: str
+    #: Experiment family that raised, or ``None`` for whole-shard failures.
+    family: Optional[str]
+    #: Exception type name (``"WatchdogExpired"``, ``"RuntimeError"``, ...).
+    error: str
+    #: The exception's message.
+    message: str
+    attempts: int = field(default=1, compare=False)
+
+    def __str__(self) -> str:
+        where = f"{self.tag}/{self.family}" if self.family else self.tag
+        return f"[{where}] {self.error}: {self.message}"
+
+
+class ShardFailure(RuntimeError):
+    """A deterministic measurement failure inside one shard.
+
+    Raised by the shard engine when a probe family dies; the campaign driver
+    converts it to a :class:`ShardError` instead of aborting.  Built purely
+    from ``args`` so it survives pickling across the process-pool boundary
+    (which is also why it carries the original exception's type *name*:
+    ``__cause__`` does not make the trip).
+    """
+
+    def __init__(self, tag: str, family: Optional[str], error: str, message: str):
+        super().__init__(tag, family, error, message)
+        self.tag = tag
+        self.family = family
+        self.error = error
+        self.message = message
+
+    def __str__(self) -> str:
+        where = f"{self.tag}/{self.family}" if self.family else self.tag
+        return f"shard {where} failed with {self.error}: {self.message}"
+
+    def to_error(self, attempts: int = 1) -> ShardError:
+        return ShardError(
+            tag=self.tag, family=self.family, error=self.error, message=self.message, attempts=attempts
+        )
+
+
+#: What one shard yields: its results, or the error that took it down.
+ShardOutcome = Union[Tuple["SurveyResults", SimStats], ShardError]
 
 
 def shard_seed(base_seed: int, tag: str) -> int:
@@ -68,25 +141,80 @@ def _run_shard(spec: ShardSpec) -> Tuple["SurveyResults", SimStats]:
     return runner.run_shard(spec.tests)
 
 
-def run_shards(specs: List[ShardSpec], jobs: int = 1) -> List[Tuple["SurveyResults", SimStats]]:
+def _error_for(spec: ShardSpec, exc: BaseException, attempts: int) -> ShardError:
+    return ShardError(
+        tag=spec.profile.tag,
+        family=None,
+        error=type(exc).__name__,
+        message=str(exc),
+        attempts=attempts,
+    )
+
+
+def _run_shard_guarded(spec: ShardSpec, retries: int, backoff: float) -> ShardOutcome:
+    """Run one shard in-process, retrying transient infrastructure errors.
+
+    Deterministic failures (a :class:`ShardFailure` from the shard engine,
+    or any other measurement exception) become a :class:`ShardError`
+    immediately — re-running a deterministic simulation reproduces the same
+    crash, so retrying them only wastes time.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return _run_shard(spec)
+        except ShardFailure as exc:
+            return exc.to_error(attempts=attempt)
+        except TRANSIENT_ERRORS as exc:
+            if attempt > retries:
+                return _error_for(spec, exc, attempts=attempt)
+            time.sleep(backoff * 2 ** (attempt - 1))
+        except Exception as exc:
+            return _error_for(spec, exc, attempts=attempt)
+
+
+def run_shards(
+    specs: List[ShardSpec], jobs: int = 1, retries: int = 1, backoff: float = 0.05
+) -> List[ShardOutcome]:
     """Execute shards, serially or across ``jobs`` worker processes.
 
-    Results come back in ``specs`` order regardless of completion order, so
-    the downstream merge is deterministic.
+    Outcomes come back in ``specs`` order regardless of completion order, so
+    the downstream merge is deterministic.  Each slot holds either the
+    shard's ``(results, stats)`` or a :class:`ShardError`; one failing shard
+    never takes down its neighbours.  If the pool breaks (or cannot be
+    created at all), completed results are kept and only the shards that
+    lost their worker re-run serially, each with up to ``retries``
+    exponential-backoff retries for transient errors.
     """
     if jobs <= 1 or len(specs) <= 1:
-        return [_run_shard(spec) for spec in specs]
+        return [_run_shard_guarded(spec, retries, backoff) for spec in specs]
+    outcomes: List[Optional[ShardOutcome]] = [None] * len(specs)
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
             futures = [pool.submit(_run_shard, spec) for spec in specs]
-            return [future.result() for future in futures]
-    except (OSError, PermissionError, pickle.PicklingError, BrokenProcessPool) as exc:
+            for index, future in enumerate(futures):
+                try:
+                    outcomes[index] = future.result()
+                except ShardFailure as exc:
+                    outcomes[index] = exc.to_error()
+                except TRANSIENT_ERRORS:
+                    pass  # worker casualty, not a verdict: re-run serially below
+                except Exception as exc:
+                    outcomes[index] = _error_for(specs[index], exc, attempts=1)
+    except TRANSIENT_ERRORS:
+        pass  # pool never came up (or died mid-submit); survivors keep their slots
+    casualties = [index for index, outcome in enumerate(outcomes) if outcome is None]
+    if casualties:
         warnings.warn(
-            f"process pool unavailable ({exc!r}); campaign falling back to serial execution",
+            f"process pool unavailable or broken; {len(casualties)} of {len(specs)} "
+            "shard(s) falling back to serial execution",
             RuntimeWarning,
             stacklevel=2,
         )
-        return [_run_shard(spec) for spec in specs]
+        for index in casualties:
+            outcomes[index] = _run_shard_guarded(specs[index], retries, backoff)
+    return outcomes
 
 
 def merge_shards(shard_results: Iterable["SurveyResults"]) -> "SurveyResults":

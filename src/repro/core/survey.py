@@ -22,7 +22,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dns_tests import DnsProxyResult, DnsProxyTest
 from repro.core.icmp_tests import IcmpTestResult, IcmpTranslationTest
-from repro.core.parallel import ShardSpec, merge_shards, run_shards, shard_seed
+from repro.core.parallel import (
+    ShardError,
+    ShardFailure,
+    ShardSpec,
+    merge_shards,
+    run_shards,
+    shard_seed,
+)
 from repro.core.stats import SimStats
 from repro.core.tcp_binding import (
     TcpBindingCapacityProbe,
@@ -41,7 +48,14 @@ from repro.core.udp_timeouts import (
 )
 from repro.devices import catalog_profiles
 from repro.devices.profile import DeviceProfile
+from repro.gateway.faults import FaultSpec
+from repro.netsim.impair import Impairment
 from repro.testbed.testbed import Testbed
+
+#: Default per-family virtual-time watchdog: far beyond any legitimate
+#: family (TCP-1 caps at 24 h + margin), tight enough to catch a simulation
+#: that a pathological impairment has sent spinning.
+DEFAULT_FAMILY_TIMEOUT = 30 * 24 * 3600.0
 
 
 @dataclass
@@ -64,7 +78,16 @@ class SurveyResults:
     icmp: Dict[str, IcmpTestResult] = field(default_factory=dict)
     transports: Dict[str, Dict[str, TransportSupportResult]] = field(default_factory=dict)
     dns: Dict[str, DnsProxyResult] = field(default_factory=dict)
+    #: Shards that failed, in catalog order.  Part of equality (minus retry
+    #: counts) — a campaign that lost a device is not equal to one that
+    #: didn't, under any ``jobs``.
+    errors: List[ShardError] = field(default_factory=list)
     stats: Optional[SimStats] = field(default=None, compare=False)
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard produced a result."""
+        return not self.errors
 
 
 class SurveyRunner:
@@ -82,6 +105,10 @@ class SurveyRunner:
         tcp1_cutoff: float = 24 * 3600.0,
         transfer_bytes: int = 2 * 1024 * 1024,
         jobs: int = 1,
+        impairment: Optional[Impairment] = None,
+        faults: Sequence[FaultSpec] = (),
+        shard_retries: int = 1,
+        family_timeout: Optional[float] = DEFAULT_FAMILY_TIMEOUT,
     ):
         self.profiles = list(profiles if profiles is not None else catalog_profiles())
         tags = [profile.tag for profile in self.profiles]
@@ -93,11 +120,29 @@ class SurveyRunner:
         self.tcp1_cutoff = tcp1_cutoff
         self.transfer_bytes = transfer_bytes
         self.jobs = max(1, int(jobs))
-        #: Elapsed wall-clock of the last :meth:`run` (set after it returns).
+        #: Link impairment applied to every family testbed (None = clean).
+        self.impairment = impairment
+        #: Gateway faults scheduled on every family testbed, post bring-up.
+        self.faults = tuple(faults)
+        #: Serial retries granted to a shard lost to infrastructure errors.
+        self.shard_retries = max(0, int(shard_retries))
+        #: Virtual seconds a single family may run before its shard is
+        #: declared hung (None disables the watchdog).
+        self.family_timeout = family_timeout
+        #: Elapsed wall-clock of the last :meth:`run` (set even when shards fail).
         self.last_elapsed: Optional[float] = None
 
     def _fresh_testbed(self) -> Testbed:
-        return Testbed.build(self.profiles, seed=self.seed)
+        bed = Testbed.build(self.profiles, seed=self.seed)
+        # Chaos goes in *after* bring-up: DHCP configuration stays clean, and
+        # impairment/fault clocks are anchored at measurement start, so a
+        # fault hits each family at the same virtual offset regardless of
+        # how long its bring-up took.
+        if self.impairment is not None and not self.impairment.is_null:
+            bed.apply_impairment(self.impairment)
+        if self.faults:
+            bed.schedule_faults(self.faults)
+        return bed
 
     def _shard_config(self) -> Dict:
         return {
@@ -105,6 +150,9 @@ class SurveyRunner:
             "udp5_repetitions": self.udp5_repetitions,
             "tcp1_cutoff": self.tcp1_cutoff,
             "transfer_bytes": self.transfer_bytes,
+            "impairment": self.impairment,
+            "faults": self.faults,
+            "family_timeout": self.family_timeout,
         }
 
     def _validate(self, tests: Optional[Sequence[str]]) -> List[str]:
@@ -119,7 +167,10 @@ class SurveyRunner:
 
         The campaign is sharded per device with tag-derived seeds, so the
         result is independent of ``jobs`` and of which other devices are in
-        the population.
+        the population.  A failing shard does not abort the campaign: its
+        :class:`~repro.core.parallel.ShardError` lands in
+        ``SurveyResults.errors`` (catalog order) while every other device's
+        results are kept, and timing/stats are finalized either way.
         """
         selected = self._validate(tests)
         specs = [
@@ -132,14 +183,19 @@ class SurveyRunner:
             for profile in self.profiles
         ]
         started = time.perf_counter()
-        shard_outcomes = run_shards(specs, jobs=self.jobs)
-        elapsed = time.perf_counter() - started
-        results = merge_shards(outcome for outcome, _stats in shard_outcomes)
+        try:
+            shard_outcomes = run_shards(specs, jobs=self.jobs, retries=self.shard_retries)
+        finally:
+            # Set even if the executor itself blows up: timing must never
+            # go stale on the failure path.
+            self.last_elapsed = time.perf_counter() - started
+        successes = [outcome for outcome in shard_outcomes if not isinstance(outcome, ShardError)]
+        results = merge_shards(shard for shard, _stats in successes)
+        results.errors = [outcome for outcome in shard_outcomes if isinstance(outcome, ShardError)]
         stats = SimStats(jobs=self.jobs)
-        for _outcome, shard_stats in shard_outcomes:
+        for _shard, shard_stats in successes:
             stats.merge(shard_stats)
         results.stats = stats
-        self.last_elapsed = elapsed
         return results
 
     # -- shard engine (one device, all families; used by the workers) -------
@@ -149,7 +205,10 @@ class SurveyRunner:
 
         This is the per-shard execution engine behind :meth:`run`; it builds
         one fresh testbed per family and records per-family wall time and
-        simulator event counts.
+        simulator event counts.  A family that raises becomes a picklable
+        :class:`~repro.core.parallel.ShardFailure` carrying the device tag
+        and family name — and the family's timing still lands in the stats,
+        so partial runs account for the work they did.
         """
         selected = self._validate(tests)
         results = SurveyResults()
@@ -157,13 +216,22 @@ class SurveyRunner:
 
         def timed(family: str, probe_call) -> Dict:
             bed = self._fresh_testbed()
+            if self.family_timeout is not None:
+                bed.sim.watchdog_limit = bed.sim.now + self.family_timeout
             started = time.perf_counter()
-            outcome = probe_call(bed)
-            wall = time.perf_counter() - started
-            stats.note_family(family, wall, bed.sim.events_processed)
-            stats.wall_seconds += wall
-            stats.stale_purges += bed.sim.stale_purges
-            stats.stale_entries_purged += bed.sim.stale_entries_purged
+            try:
+                outcome = probe_call(bed)
+            except ShardFailure:
+                raise
+            except Exception as exc:
+                tag = ",".join(profile.tag for profile in self.profiles)
+                raise ShardFailure(tag, family, type(exc).__name__, str(exc)) from exc
+            finally:
+                wall = time.perf_counter() - started
+                stats.note_family(family, wall, bed.sim.events_processed)
+                stats.wall_seconds += wall
+                stats.stale_purges += bed.sim.stale_purges
+                stats.stale_entries_purged += bed.sim.stale_entries_purged
             return outcome
 
         if "udp1" in selected:

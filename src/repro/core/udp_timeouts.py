@@ -38,6 +38,11 @@ DEFAULT_GRACE = 2.0
 #: previous binding expired so every iteration starts like the first.
 QUIESCENCE_MARGIN = 10.0
 
+#: Sends the opening probe of a flow gets before the device is declared
+#: unreachable.  Keeps a healthy device alive under per-frame link loss
+#: while still failing fast on a crashed or black-holing one.
+INITIAL_PROBE_ATTEMPTS = 3
+
 WELL_KNOWN_SERVICES = {"dns": 53, "tftp": 69, "http": 80, "ntp": 123, "snmp": 161}
 
 _flow_counter = itertools.count(1)
@@ -277,6 +282,29 @@ class _DeviceContext:
         self.server_daemon.invoke("respond", flow_id, seq)
         return future
 
+    def _establish_flow(self) -> Generator:
+        """Open a fresh flow through the NAT, retrying lost initial probes.
+
+        Under stochastic link loss a single lost datagram must not write the
+        device off, so the opening probe gets a few attempts (each with a
+        fresh flow, so a half-created binding from a lost reply cannot
+        contaminate the measurement).  A device that eats all of them is
+        genuinely unreachable — crashed, bricked, or black-holing.
+        """
+        for _attempt in range(INITIAL_PROBE_ATTEMPTS):
+            flow_id = next(_flow_counter)
+            arrival = self.responder.expect(flow_id, timeout=self.probe.grace)
+            self._send_probe(flow_id)
+            endpoint = yield arrival
+            if endpoint is not None:
+                self.iteration += 1
+                self.result.observed_ports.append((self.iteration, endpoint[1]))
+                return flow_id
+        raise RuntimeError(
+            f"{self.tag}: probe packet never reached the server "
+            f"({INITIAL_PROBE_ATTEMPTS} attempts)"
+        )
+
     # -- UDP-1: binary search ------------------------------------------------
 
     def binary_search_repetition(self, repetition: int) -> Generator:
@@ -289,14 +317,7 @@ class _DeviceContext:
 
     def _single_probe(self, sleep: float) -> Generator:
         """One UDP-1 iteration: fresh binding, sleep, response, verdict."""
-        flow_id = next(_flow_counter)
-        arrival = self.responder.expect(flow_id, timeout=self.probe.grace)
-        self._send_probe(flow_id)
-        endpoint = yield arrival
-        if endpoint is None:
-            raise RuntimeError(f"{self.tag}: probe packet never reached the server")
-        self.iteration += 1
-        self.result.observed_ports.append((self.iteration, endpoint[1]))
+        flow_id = yield from self._establish_flow()
         yield sleep
         got = yield self._request_response(flow_id, seq=0)
         alive = bool(got)
@@ -311,14 +332,7 @@ class _DeviceContext:
     # -- UDP-2 / UDP-3: growing-gap response stream -------------------------------
 
     def ramp_repetition(self, repetition: int, bidirectional: bool) -> Generator:
-        flow_id = next(_flow_counter)
-        arrival = self.responder.expect(flow_id, timeout=self.probe.grace)
-        self._send_probe(flow_id)
-        endpoint = yield arrival
-        if endpoint is None:
-            raise RuntimeError(f"{self.tag}: probe packet never reached the server")
-        self.iteration += 1
-        self.result.observed_ports.append((self.iteration, endpoint[1]))
+        flow_id = yield from self._establish_flow()
         # Initial response immediately: the binding has now seen inbound
         # traffic, which is the state both UDP-2 and UDP-3 measure.
         got = yield self._request_response(flow_id, seq=0)

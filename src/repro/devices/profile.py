@@ -266,6 +266,9 @@ class DeviceProfile:
     dns_proxy: DnsProxyPolicy = field(default_factory=DnsProxyPolicy)
     quirks: QuirkPolicy = field(default_factory=QuirkPolicy)
     dhcp_lease_seconds: int = 86400
+    #: Seconds a crashed device takes to come back up (fault injection).
+    #: Consumer CPE of the era took tens of seconds to reboot.
+    boot_seconds: float = 25.0
 
     def clone(self, **overrides) -> "DeviceProfile":
         """A copy with top-level fields replaced (handy for ablations)."""
@@ -276,3 +279,5 @@ class DeviceProfile:
             raise ValueError("device profile needs a tag")
         if self.dns_proxy.responds_tcp and not self.dns_proxy.accepts_tcp:
             raise ValueError(f"{self.tag}: responds_tcp requires accepts_tcp")
+        if self.boot_seconds < 0:
+            raise ValueError(f"{self.tag}: boot_seconds must be non-negative")

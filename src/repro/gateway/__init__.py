@@ -9,7 +9,8 @@ buffer-limited forwarding plane.  All policy comes from a
 """
 
 from repro.gateway.device import HomeGateway
-from repro.gateway.nat import Binding, NatEngine
+from repro.gateway.faults import FaultSpec
 from repro.gateway.forwarding import ForwardingEngine
+from repro.gateway.nat import Binding, NatEngine
 
-__all__ = ["HomeGateway", "Binding", "NatEngine", "ForwardingEngine"]
+__all__ = ["HomeGateway", "Binding", "NatEngine", "ForwardingEngine", "FaultSpec"]

@@ -98,6 +98,12 @@ class HomeGateway(Host):
         self.forwarded_down = 0
         self.dropped_no_binding = 0
         self.dropped_fallback = 0
+        self.dropped_while_down = 0
+        # Fault-injection state: a crashed device forwards nothing until its
+        # boot delay elapses.
+        self.running = True
+        self.crashes = 0
+        self._boot_timer = sim.timer(self._finish_boot)
 
     # -- properties -------------------------------------------------------
 
@@ -146,6 +152,40 @@ class HomeGateway(Host):
         self.add_default_route(WAN_IFACE, gateway_ip)
         self.wan_dns_servers = list(dns_servers or [])
 
+    # -- fault injection ------------------------------------------------------
+
+    def crash(self, boot_delay: Optional[float] = None) -> None:
+        """Power-cycle the device.
+
+        Everything volatile is gone instantly: the NAT binding table (and its
+        timers), the forwarding-plane queues, and frames queued on the
+        device's own link transmitters.  The gateway then forwards nothing
+        until the boot delay (``profile.boot_seconds`` unless overridden)
+        elapses; ``math.inf`` models a device that never comes back.  The WAN
+        lease is kept across the reboot — address stability through power
+        cycles is the common CPE behaviour, and what the NAT *loses* is the
+        interesting part.
+        """
+        self.crashes += 1
+        self.running = False
+        self.nat.flush()
+        self.engine.flush()
+        for iface in self.interfaces:
+            if iface.endpoint is not None:
+                iface.endpoint.flush()
+        delay = self.profile.boot_seconds if boot_delay is None else boot_delay
+        if delay == float("inf"):
+            self._boot_timer.cancel()  # bricked: never reboots
+            return
+        self._boot_timer.restart(delay)
+
+    def schedule_crash(self, at: float, boot_delay: Optional[float] = None) -> None:
+        """Arrange a crash ``at`` seconds from now (virtual time)."""
+        self.sim.schedule(at, self.crash, boot_delay)
+
+    def _finish_boot(self) -> None:
+        self.running = True
+
     def _port_reserved(self, proto: str, port: int) -> bool:
         if proto == "udp":
             return self.udp.has_port(port)
@@ -158,6 +198,9 @@ class HomeGateway(Host):
     # -- frame demux ---------------------------------------------------------------
 
     def receive_frame(self, iface: Interface, frame: Any) -> None:
+        if not self.running:
+            self.dropped_while_down += 1
+            return
         if frame.ethertype != ETHERTYPE_IPV4:
             return
         if frame.dst != iface.mac and not frame.dst.is_broadcast and not frame.dst.is_multicast:

@@ -85,6 +85,20 @@ class ForwardingEngine:
     def queue_depth_bytes(self, direction: str) -> int:
         return self._queues[self._lane_for(direction)].occupied_bytes
 
+    def flush(self) -> None:
+        """Drop everything queued in the forwarding plane (crash/reboot).
+
+        Pending dispatch events fire harmlessly on the emptied queues; the
+        dropped packets are counted against their original direction.
+        """
+        for queue in self._queues.values():
+            while True:
+                entry = queue.poll()
+                if entry is None:
+                    break
+                (direction, _item, _deliver), _size = entry
+                self.dropped[direction] += 1
+
     # -- internal ------------------------------------------------------------
 
     def _head_delay(self, lane: str) -> Optional[float]:

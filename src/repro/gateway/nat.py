@@ -115,6 +115,7 @@ class NatEngine:
         self.bindings_created = 0
         self.bindings_expired = 0
         self.bindings_refused = 0
+        self.bindings_flushed = 0
         self.inbound_filtered = 0
         #: Optional hook: ports the gateway's own services own and the NAT
         #: must never hand out (e.g. the DNS proxy's upstream sockets).
@@ -253,6 +254,27 @@ class NatEngine:
             binding.timer.cancel()
         flow = (binding.proto, binding.int_ip, binding.int_port, binding.remote[0], binding.remote[1])
         self._expired[flow] = (binding.ext_port, self.sim.now)
+
+    def flush(self) -> None:
+        """Crash semantics: the entire session table vanishes at once.
+
+        Unlike :meth:`remove`, nothing goes into the hold-down history — a
+        rebooted device has no memory of the bindings it lost, so the same
+        flow rebinding after the crash is allocated like a brand-new one.
+        """
+        for binding in self._by_mapping.values():
+            if binding.timer is not None:
+                binding.timer.cancel()
+        self.bindings_flushed += len(self._by_mapping)
+        self._by_mapping.clear()
+        self._by_external.clear()
+        self._used_ports["udp"].clear()
+        self._used_ports["tcp"].clear()
+        self._expired.clear()
+        self._echo_out.clear()
+        self._echo_in.clear()
+        self._generic_out.clear()
+        self._generic_in.clear()
 
     def remove_binding(self, binding: Binding) -> None:
         key = self._find_key(binding)

@@ -19,8 +19,9 @@ Typical use::
     sim.run()
 """
 
-from repro.netsim.sim import Simulation, Timer
+from repro.netsim.sim import Simulation, Timer, WatchdogExpired
 from repro.netsim.addresses import MacAddress, mac_allocator
+from repro.netsim.impair import Impairment, LinkImpairer, impair_seed
 from repro.netsim.link import Link
 from repro.netsim.node import Interface, Node
 from repro.netsim.queues import DropTailQueue, TokenBucket
@@ -30,6 +31,10 @@ from repro.netsim.trace import PacketTrace, TraceEntry
 __all__ = [
     "Simulation",
     "Timer",
+    "WatchdogExpired",
+    "Impairment",
+    "LinkImpairer",
+    "impair_seed",
     "MacAddress",
     "mac_allocator",
     "Link",

@@ -9,8 +9,10 @@ store-and-forward model.  The testbed's "100 Mb/sec Ethernet" links are
 
 from __future__ import annotations
 
+import random
 from typing import Any, Optional
 
+from repro.netsim.impair import Impairment, LinkImpairer
 from repro.netsim.node import Interface
 from repro.netsim.queues import DropTailQueue
 from repro.netsim.sim import Simulation
@@ -37,13 +39,22 @@ class LinkEndpoint:
         self.peer: Optional["LinkEndpoint"] = None
         self.queue = DropTailQueue(queue_bytes)
         self._transmitting = False
+        #: Frames this transmitter lost: tail drops, flushed-on-sever queue
+        #: contents, and frames in flight when the cable was cut.
+        self.frames_dropped = 0
 
     def transmit(self, frame: Any) -> None:
         """Queue a frame for serialization onto the wire."""
         if not self.queue.offer(frame, frame_wire_size(frame)):
-            return  # tail drop
+            self.frames_dropped += 1  # tail drop
+            return
         if not self._transmitting:
             self._start_next()
+
+    def flush(self) -> None:
+        """Discard everything queued for transmission (counted as drops)."""
+        self.frames_dropped += len(self.queue)
+        self.queue.clear()
 
     def _start_next(self) -> None:
         entry = self.queue.poll()
@@ -57,10 +68,20 @@ class LinkEndpoint:
         sim.schedule(tx_time, self._transmission_done, frame)
 
     def _transmission_done(self, frame: Any) -> None:
+        link = self.link
         peer = self.peer
-        if peer is not None and not self.link.broken:
-            self.link.sim.schedule(self.link.delay, peer.iface.deliver, frame)
-            self.link.frames_carried += 1
+        if peer is None:
+            self._start_next()
+            return
+        if link.broken:
+            self.frames_dropped += 1  # in flight when the cable was cut
+        elif link.impairer is None:
+            link.sim.schedule(link.delay, peer.iface.deliver, frame)
+            link.frames_carried += 1
+        else:
+            for extra in link.impairer.plan_delivery():
+                link.sim.schedule(link.delay + extra, peer.iface.deliver, frame)
+                link.frames_carried += 1
         self._start_next()
 
 
@@ -86,6 +107,7 @@ class Link:
         self.endpoint_b: Optional[LinkEndpoint] = None
         self.broken = False
         self.frames_carried = 0
+        self.impairer: Optional[LinkImpairer] = None
 
     def attach(self, iface_a: Interface, iface_b: Interface) -> "Link":
         """Plug both ends in."""
@@ -102,8 +124,32 @@ class Link:
         return self
 
     def sever(self) -> None:
-        """Cut the cable: in-flight frames are lost, future sends go nowhere."""
+        """Cut the cable: queued and in-flight frames are lost (and counted).
+
+        Flushing the transmit queues matters: without it, frames queued during
+        an outage would burst out on :meth:`mend`, which no unplugged cable
+        ever does.
+        """
         self.broken = True
+        for endpoint in (self.endpoint_a, self.endpoint_b):
+            if endpoint is not None:
+                endpoint.flush()
 
     def mend(self) -> None:
         self.broken = False
+
+    def impair(self, config: Impairment, rng: Optional[random.Random] = None) -> "Link":
+        """Install an impairment stage on this link's delivery path.
+
+        ``rng`` must be dedicated to this link (see :func:`impair_seed`); it
+        defaults to a fresh RNG seeded from the simulation seed, which is only
+        appropriate for single-link setups.  Flap windows are scheduled
+        relative to *now*.
+        """
+        if rng is None:
+            rng = random.Random(self.sim.seed)
+        self.impairer = LinkImpairer(config, rng)
+        if config.flap_at is not None:
+            self.sim.schedule(config.flap_at, self.sever)
+            self.sim.schedule(config.flap_at + config.flap_for, self.mend)
+        return self

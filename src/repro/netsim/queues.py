@@ -12,6 +12,7 @@ Two building blocks live here:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
@@ -116,7 +117,12 @@ class TokenBucket:
         deficit = size_bytes - self._tokens
         if deficit <= self.EPSILON_BYTES:
             return 0.0
-        return deficit * 8.0 / self.rate_bps
+        delay = deficit * 8.0 / self.rate_bps
+        # A delay below the clock's float resolution at ``now`` would
+        # schedule a wake-up at the *same* timestamp: no time elapses, no
+        # tokens accrue, and the scheduler spins at one virtual instant
+        # forever.  Round up to the smallest step the clock can represent.
+        return max(delay, math.nextafter(now, math.inf) - now)
 
     @property
     def tokens(self) -> float:

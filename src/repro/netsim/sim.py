@@ -34,6 +34,16 @@ class CancelledError(RuntimeError):
     """Raised when interacting with a timer that was cancelled."""
 
 
+class WatchdogExpired(RuntimeError):
+    """The simulation tried to advance past its virtual-time watchdog limit.
+
+    Campaign shards arm this (see ``SurveyRunner``) so a runaway measurement
+    — a probe stuck re-arming timers forever against a crashed gateway —
+    fails loudly instead of spinning, and the failure is deterministic: it
+    depends only on virtual time, never on wall-clock.
+    """
+
+
 class Timer:
     """A cancellable, reschedulable handle for a pending event.
 
@@ -118,10 +128,14 @@ class Simulation:
 
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
+        self.seed = seed
         self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = itertools.count()
         self.rng = random.Random(seed)
         self.events_processed = 0
+        #: Virtual-time ceiling; processing an event past it raises
+        #: :class:`WatchdogExpired`.  ``None`` disables the watchdog.
+        self.watchdog_limit: Optional[float] = None
         # Stale-entry bookkeeping (cancelled/restarted timers).
         self._stale_entries = 0
         #: Number of compaction passes run.
@@ -185,6 +199,11 @@ class Simulation:
         """Process one event.  Returns False when the heap is empty."""
         if not self._heap:
             return False
+        if self.watchdog_limit is not None and self._heap[0][0] > self.watchdog_limit:
+            raise WatchdogExpired(
+                f"virtual-time watchdog expired: next event at t={self._heap[0][0]:.3f}s "
+                f"is past the limit of {self.watchdog_limit:.3f}s"
+            )
         when, _seq, callback, args = heapq.heappop(self._heap)
         self.now = when
         self.events_processed += 1

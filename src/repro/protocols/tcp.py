@@ -409,8 +409,20 @@ class TcpConnection:
         self._in_fast_recovery = False
         self._rtt_seq = None  # Karn: no sampling across retransmits
         self.rto = min(self.rto * 2, MAX_RTO)
-        self._retransmit_head()
-        self._rtx_timer.start(self.rto)
+        if self._fin_sent:
+            self._retransmit_head()
+            self._rtx_timer.start(self.rto)
+            return
+        # Classic Reno RTO recovery (go-back-N): everything in flight is
+        # presumed lost.  Rewind so slow start governs the resend and every
+        # returning ACK pulls the recovery forward — without the rewind the
+        # phantom flight blocks all new output, so no RTT samples arrive,
+        # the RTO pins at its ceiling, and a lost train drains at one
+        # segment per RTO.
+        self.retransmitted_segments += 1
+        self.snd_nxt = self.snd_una
+        self._try_output()
+        self._rtx_timer.restart(self.rto)
 
     def _retransmit_head(self) -> None:
         self.retransmitted_segments += 1
@@ -589,8 +601,14 @@ class TcpConnection:
                     self.on_established(self)
             return
         if seq_lt(self.snd_nxt, ack):
-            # ACK for data we never sent; ignore.
-            return
+            if seq_sub(ack, self.snd_una) <= len(self._send_buffer):
+                # The data is ours — sent before an RTO rewind pulled
+                # snd_nxt back (go-back-N keeps no snd_max).  Accept the
+                # ACK and pull snd_nxt forward past the covered bytes.
+                self.snd_nxt = ack
+            else:
+                # ACK for data we never sent; ignore.
+                return
         self.peer_window = segment.window
         if seq_lt(self.snd_una, ack):
             acked = seq_sub(ack, self.snd_una)

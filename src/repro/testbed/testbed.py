@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from ipaddress import IPv4Address, IPv4Network
 from typing import Dict, List, Optional, Sequence
 
 from repro.devices.profile import DeviceProfile
 from repro.gateway.device import HomeGateway
+from repro.gateway.faults import FaultSpec
 from repro.netsim.addresses import mac_allocator
+from repro.netsim.impair import Impairment, impair_seed
 from repro.netsim.link import Link
 from repro.netsim.sim import Simulation
 from repro.netsim.switch import VlanSwitch
@@ -59,6 +62,9 @@ class Testbed:
         self.wan_switch = VlanSwitch(sim, "wan-switch", self.macs)
         self.lan_switch = VlanSwitch(sim, "lan-switch", self.macs)
         self.ports: Dict[str, GatewayPort] = {}
+        #: Every link in construction order; the ordinal seeds per-link
+        #: impairment RNGs, so it must be deterministic.
+        self.links: List[Link] = []
         self.dns_zone = DnsAuthoritativeServer(self.server, {DEFAULT_ZONE_NAME: DEFAULT_ZONE_ANSWER})
         for number, profile in enumerate(profiles, start=1):
             self._add_gateway(number, profile)
@@ -72,6 +78,11 @@ class Testbed:
 
     # -- construction -----------------------------------------------------
 
+    def _link(self) -> Link:
+        link = Link(self.sim, LINK_RATE_BPS, LINK_DELAY)
+        self.links.append(link)
+        return link
+
     def _add_gateway(self, number: int, profile: DeviceProfile) -> None:
         if profile.tag in self.ports:
             raise ValueError(f"duplicate device tag {profile.tag!r}")
@@ -82,7 +93,7 @@ class Testbed:
         # Server side: one VLAN interface + per-VLAN DHCP service + DNS A record.
         server_iface = self.server.new_interface()
         server_iface.configure(server_ip, wan_network)
-        Link(self.sim, LINK_RATE_BPS, LINK_DELAY).attach(
+        self._link().attach(
             server_iface, self.wan_switch.new_port(1000 + number)
         )
         DhcpServerService(
@@ -98,17 +109,17 @@ class Testbed:
 
         # The gateway between the two switches.
         gateway = HomeGateway(self.sim, profile, self.macs, lan_network=lan_network)
-        Link(self.sim, LINK_RATE_BPS, LINK_DELAY).attach(
+        self._link().attach(
             gateway.wan_iface, self.wan_switch.new_port(1000 + number)
         )
-        Link(self.sim, LINK_RATE_BPS, LINK_DELAY).attach(
+        self._link().attach(
             gateway.lan_iface, self.lan_switch.new_port(2000 + number)
         )
 
         # Client side: one VLAN interface, configured later by the gateway's
         # DHCP server (interface-specific routes only).
         client_iface = self.client.new_interface()
-        Link(self.sim, LINK_RATE_BPS, LINK_DELAY).attach(
+        self._link().attach(
             client_iface, self.lan_switch.new_port(2000 + number)
         )
 
@@ -143,6 +154,28 @@ class Testbed:
         not_up = [p.tag for p in self.ports.values() if p.client_dhcp is None or not p.client_dhcp.configured]
         if not_up:
             raise RuntimeError(f"testbed bring-up failed for: {not_up}")
+
+    # -- chaos ----------------------------------------------------------------
+
+    def apply_impairment(self, impairment: Impairment) -> None:
+        """Install ``impairment`` on every link, each with its own RNG.
+
+        Per-link seeds derive from the simulation seed and the link's
+        construction ordinal (:func:`~repro.netsim.impair.impair_seed`), so
+        the perturbation a device suffers is a pure function of the
+        campaign seed — identical under any ``jobs`` and any device subset.
+        Call after :meth:`bring_up`: DHCP configuration stays clean and any
+        flap window is anchored at measurement start.
+        """
+        for ordinal, link in enumerate(self.links):
+            link.impair(impairment, rng=random.Random(impair_seed(self.sim.seed, ordinal)))
+
+    def schedule_faults(self, faults: Sequence[FaultSpec]) -> None:
+        """Schedule every applicable fault against this testbed's gateways."""
+        for fault in faults:
+            for port in self.ports.values():
+                if fault.applies_to(port.tag):
+                    port.gateway.schedule_crash(fault.at, fault.boot)
 
     # -- accessors ---------------------------------------------------------------
 
