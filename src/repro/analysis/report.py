@@ -119,6 +119,19 @@ def render_report(results: SurveyResults, title: str = "Home gateway survey") ->
         sections.append("## Other tests (Table 2)")
         sections.append(_code_block(render_table2(results.icmp, results.transports, results.dns)))
 
+    if results.errors:
+        sections.append("## Shard failures")
+        sections.append(
+            f"{len(results.errors)} device shard(s) produced no result; "
+            "every figure above silently omits them."
+        )
+        rows = ["| device | family | error | message |", "|--------|--------|-------|---------|"]
+        for error in results.errors:
+            rows.append(
+                f"| {error.tag} | {error.family or 'whole shard'} | {error.error} | {error.message} |"
+            )
+        sections.append("\n".join(rows))
+
     return "\n\n".join(sections) + "\n"
 
 

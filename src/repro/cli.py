@@ -9,11 +9,18 @@ Commands:
 * ``compliance`` — grade devices against RFC 4787 / 5382 / 5508.
 * ``bench`` — run a campaign, print and dump its performance counters
   (``BENCH_survey.json``); ``--jobs N`` shards devices across processes.
+* ``trace`` — summarize JSONL trace files produced by ``--trace``.
+
+``probe``, ``survey``, ``report`` and ``bench`` all accept the flight-recorder
+flags ``--trace DIR`` (per-device JSONL event traces), ``--pcap DIR``
+(per-link pcap captures) and ``--metrics`` (campaign counters/histograms);
+see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional, Sequence
@@ -33,6 +40,7 @@ from repro.core import (
 )
 from repro.core.results import DeviceSeries, Summary
 from repro.devices import CATALOG, catalog_profiles
+from repro.obs import ObsConfig, ShardObserver, render_summary, summarize_paths
 from repro.testbed import Testbed
 
 PROBE_CHOICES = (
@@ -67,6 +75,21 @@ def _parse_chaos(args):
     return impairment, faults
 
 
+def _obs_config(args) -> ObsConfig:
+    """Build the flight-recorder config from ``--trace/--pcap/--metrics``."""
+    return ObsConfig(
+        trace_dir=getattr(args, "trace", None),
+        pcap_dir=getattr(args, "pcap", None),
+        metrics=bool(getattr(args, "metrics", False)),
+    )
+
+
+def _emit_metrics(observer: Optional[ShardObserver], out) -> None:
+    """Print the collected metrics registry as JSON (probe/survey)."""
+    if observer is not None and observer.registry is not None:
+        out(json.dumps(observer.registry.as_dict(), indent=2, sort_keys=True))
+
+
 def _report_errors(results, out) -> None:
     if results.errors:
         out(f"\n{len(results.errors)} shard(s) failed:")
@@ -84,8 +107,26 @@ def _series_from_timeouts(results, name: str, unit: str, cutoff: Optional[float]
     return series
 
 
-def _run_probe(name: str, tags: Sequence[str], repetitions: int, seed: int, out) -> Optional[DeviceSeries]:
+def _run_probe(
+    name: str,
+    tags: Sequence[str],
+    repetitions: int,
+    seed: int,
+    out,
+    observer: Optional[ShardObserver] = None,
+) -> Optional[DeviceSeries]:
     bed = _build_bed(tags, seed)
+    if observer is None:
+        return _dispatch_probe(name, bed, repetitions, out)
+    # Flight recorder on: trace the family like a survey shard would.
+    observer.begin(bed, name)
+    try:
+        return _dispatch_probe(name, bed, repetitions, out)
+    finally:
+        observer.finish(bed, name)
+
+
+def _dispatch_probe(name: str, bed: Testbed, repetitions: int, out) -> Optional[DeviceSeries]:
     if name in ("udp1", "udp2", "udp3"):
         maker = getattr(UdpTimeoutProbe, name)
         results = maker(repetitions=repetitions).run_all(bed)
@@ -171,7 +212,14 @@ def cmd_list_devices(args, out) -> int:
 
 def cmd_probe(args, out) -> int:
     tags = _resolve_tags(args.tags)
-    _run_probe(args.test, tags, args.repetitions, args.seed, out)
+    obs = _obs_config(args)
+    observer = ShardObserver(obs) if obs.enabled else None
+    try:
+        _run_probe(args.test, tags, args.repetitions, args.seed, out, observer=observer)
+    finally:
+        if observer is not None:
+            observer.close()
+    _emit_metrics(observer, out)
     return 0
 
 
@@ -180,12 +228,19 @@ def cmd_survey(args, out) -> int:
     csv_dir = pathlib.Path(args.csv_dir) if args.csv_dir else None
     if csv_dir:
         csv_dir.mkdir(parents=True, exist_ok=True)
-    for name in args.tests:
-        out(f"\n=== {name} ===")
-        series = _run_probe(name, tags, args.repetitions, args.seed, out)
-        if series is not None and csv_dir:
-            (csv_dir / f"{name}.csv").write_text(series_to_csv(series) + "\n")
-            out(f"[wrote {csv_dir / f'{name}.csv'}]")
+    obs = _obs_config(args)
+    observer = ShardObserver(obs) if obs.enabled else None
+    try:
+        for name in args.tests:
+            out(f"\n=== {name} ===")
+            series = _run_probe(name, tags, args.repetitions, args.seed, out, observer=observer)
+            if series is not None and csv_dir:
+                (csv_dir / f"{name}.csv").write_text(series_to_csv(series) + "\n")
+                out(f"[wrote {csv_dir / f'{name}.csv'}]")
+    finally:
+        if observer is not None:
+            observer.close()
+    _emit_metrics(observer, out)
     return 0
 
 
@@ -223,6 +278,9 @@ def cmd_report(args, out) -> int:
         jobs=args.jobs,
         impairment=impairment,
         faults=faults,
+        trace_dir=args.trace,
+        pcap_dir=args.pcap,
+        metrics=args.metrics,
     )
     results = runner.run(tests=args.tests)
     report = render_report(results, title=f"Home gateway survey ({len(tags)} devices)")
@@ -231,6 +289,9 @@ def cmd_report(args, out) -> int:
         out(f"wrote {args.output}")
     else:
         out(report)
+    if results.metrics is not None:
+        totals = results.metrics.counters
+        out(f"[metrics] {sum(totals.values())} events across {len(totals)} counters")
     _report_errors(results, out)
     return 0
 
@@ -251,6 +312,9 @@ def cmd_bench(args, out) -> int:
         jobs=args.jobs,
         impairment=impairment,
         faults=faults,
+        trace_dir=args.trace,
+        pcap_dir=args.pcap,
+        metrics=args.metrics,
     )
     results = runner.run(tests=args.tests)
     stats = results.stats
@@ -284,8 +348,21 @@ def cmd_bench(args, out) -> int:
             ],
             "stats": stats.as_dict(),
         }
+        if results.metrics is not None:
+            payload["metrics"] = results.metrics.as_dict()
         write_bench_json(args.output, payload)
         out(f"wrote {args.output}")
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    summaries = summarize_paths([pathlib.Path(path) for path in args.paths])
+    if not summaries:
+        raise SystemExit(f"no trace files found under: {' '.join(args.paths)}")
+    if args.json:
+        out(json.dumps(summaries, indent=2, sort_keys=True))
+    else:
+        out(render_summary(summaries))
     return 0
 
 
@@ -310,6 +387,16 @@ def cmd_compliance(args, out) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The flight-recorder flags shared by probe/survey/report/bench."""
+    parser.add_argument("--trace", metavar="DIR",
+                        help="write per-device JSONL event traces into DIR")
+    parser.add_argument("--pcap", metavar="DIR",
+                        help="write per-link pcap captures into DIR (open in Wireshark)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect campaign counters/gauges/histograms")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -324,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--tags", nargs="*", help="device tags (default: all 34)")
     probe.add_argument("--repetitions", type=int, default=3)
     probe.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(probe)
     probe.set_defaults(func=cmd_probe)
 
     survey = sub.add_parser("survey", help="run several families")
@@ -332,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--repetitions", type=int, default=3)
     survey.add_argument("--seed", type=int, default=0)
     survey.add_argument("--csv-dir", help="export each series as CSV here")
+    _add_obs_flags(survey)
     survey.set_defaults(func=cmd_survey)
 
     stun = sub.add_parser("classify", help="STUN-style classification")
@@ -350,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--impair", help="link impairment, e.g. loss=0.01,reorder=5ms,dup=0.001")
     report.add_argument("--fault", action="append",
                         help="gateway fault, e.g. crash@t=30,boot=never,device=dl8 (repeatable)")
+    _add_obs_flags(report)
     report.set_defaults(func=cmd_report)
 
     bench = sub.add_parser("bench", help="time a campaign and dump perf counters")
@@ -365,7 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--fault", action="append",
                        help="gateway fault, e.g. crash@t=30,boot=never,device=dl8 (repeatable)")
     bench.add_argument("--output", help="write BENCH_survey.json here")
+    _add_obs_flags(bench)
     bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser("trace", help="summarize JSONL trace files from --trace")
+    trace.add_argument("paths", nargs="+",
+                       help="trace files or directories of per-device .jsonl files")
+    trace.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    trace.set_defaults(func=cmd_trace)
 
     comp = sub.add_parser("compliance", help="grade against the IETF BCPs")
     comp.add_argument("--tags", nargs="*")

@@ -50,6 +50,7 @@ from repro.devices import catalog_profiles
 from repro.devices.profile import DeviceProfile
 from repro.gateway.faults import FaultSpec
 from repro.netsim.impair import Impairment
+from repro.obs import MetricsRegistry, ObsConfig, ShardObserver
 from repro.testbed.testbed import Testbed
 
 #: Default per-family virtual-time watchdog: far beyond any legitimate
@@ -83,6 +84,10 @@ class SurveyResults:
     #: didn't, under any ``jobs``.
     errors: List[ShardError] = field(default_factory=list)
     stats: Optional[SimStats] = field(default=None, compare=False)
+    #: Merged observability metrics when the campaign ran with ``metrics=True``
+    #: (see :mod:`repro.obs`); excluded from equality like ``stats`` — the
+    #: registry records *how much happened*, not what was measured.
+    metrics: Optional[MetricsRegistry] = field(default=None, compare=False)
 
     @property
     def complete(self) -> bool:
@@ -91,7 +96,29 @@ class SurveyResults:
 
 
 class SurveyRunner:
-    """Configurable full-campaign driver."""
+    """Configurable full-campaign driver.
+
+    One instance describes a whole measurement campaign: the device
+    population, the campaign seed, per-family knobs (repetitions, cutoffs,
+    transfer sizes), the chaos configuration (``impairment``/``faults``),
+    the execution schedule (``jobs``), and what the flight recorder should
+    capture (``trace_dir``/``pcap_dir``/``metrics`` — see
+    :mod:`repro.obs`).  :meth:`run` executes the selected families and
+    returns a :class:`SurveyResults`.
+
+    The determinism contract: results (and, when recording, trace/pcap
+    bytes and the metrics registry) are a pure function of
+    ``(profiles, seed)`` — independent of ``jobs``, of which other devices
+    share the population, and of whether a recorder was attached.
+
+    Example::
+
+        runner = SurveyRunner(seed=7, jobs=4, metrics=True,
+                              trace_dir="out/trace")
+        results = runner.run(tests=["udp1", "tcp2"])
+        results.udp1["je"].summary().median   # ≈ 30 s
+        results.metrics.counters              # campaign event counts
+    """
 
     #: Every experiment family the runner knows, in execution order.
     ALL_TESTS = ("udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns")
@@ -109,6 +136,9 @@ class SurveyRunner:
         faults: Sequence[FaultSpec] = (),
         shard_retries: int = 1,
         family_timeout: Optional[float] = DEFAULT_FAMILY_TIMEOUT,
+        trace_dir: Optional[str] = None,
+        pcap_dir: Optional[str] = None,
+        metrics: bool = False,
     ):
         self.profiles = list(profiles if profiles is not None else catalog_profiles())
         tags = [profile.tag for profile in self.profiles]
@@ -129,6 +159,10 @@ class SurveyRunner:
         #: Virtual seconds a single family may run before its shard is
         #: declared hung (None disables the watchdog).
         self.family_timeout = family_timeout
+        #: What the flight recorder should capture (nothing by default); see
+        #: :mod:`repro.obs`.  Carried as plain strings/bool so the shard
+        #: config stays trivially picklable.
+        self.obs = ObsConfig(trace_dir=trace_dir, pcap_dir=pcap_dir, metrics=metrics)
         #: Elapsed wall-clock of the last :meth:`run` (set even when shards fail).
         self.last_elapsed: Optional[float] = None
 
@@ -153,6 +187,9 @@ class SurveyRunner:
             "impairment": self.impairment,
             "faults": self.faults,
             "family_timeout": self.family_timeout,
+            "trace_dir": self.obs.trace_dir,
+            "pcap_dir": self.obs.pcap_dir,
+            "metrics": self.obs.metrics,
         }
 
     def _validate(self, tests: Optional[Sequence[str]]) -> List[str]:
@@ -196,6 +233,14 @@ class SurveyRunner:
         for _shard, shard_stats in successes:
             stats.merge(shard_stats)
         results.stats = stats
+        if self.obs.metrics:
+            # Catalog-order merge: counters add, gauges high-water, spans
+            # accumulate — jobs=N lands on the same registry as jobs=1.
+            registry = MetricsRegistry()
+            for shard, _stats in successes:
+                if shard.metrics is not None:
+                    registry.merge(shard.metrics)
+            results.metrics = registry
         return results
 
     # -- shard engine (one device, all families; used by the workers) -------
@@ -213,11 +258,20 @@ class SurveyRunner:
         selected = self._validate(tests)
         results = SurveyResults()
         stats = SimStats()
+        observer: Optional[ShardObserver] = None
+        if self.obs.enabled:
+            device = self.profiles[0].tag if len(self.profiles) == 1 else None
+            observer = ShardObserver(self.obs, device=device)
 
         def timed(family: str, probe_call) -> Dict:
             bed = self._fresh_testbed()
             if self.family_timeout is not None:
                 bed.sim.watchdog_limit = bed.sim.now + self.family_timeout
+            # The observer attaches *after* bring-up: DHCP chatter stays out
+            # of the trace, and emission is passive (no RNG draws, no
+            # scheduling), so traced campaigns measure identically.
+            if observer is not None:
+                observer.begin(bed, family)
             started = time.perf_counter()
             try:
                 outcome = probe_call(bed)
@@ -232,30 +286,39 @@ class SurveyRunner:
                 stats.wall_seconds += wall
                 stats.stale_purges += bed.sim.stale_purges
                 stats.stale_entries_purged += bed.sim.stale_entries_purged
+                if observer is not None:
+                    observer.finish(bed, family)
             return outcome
 
-        if "udp1" in selected:
-            results.udp1 = timed("udp1", UdpTimeoutProbe.udp1(repetitions=self.udp_repetitions).run_all)
-            results.udp4 = {
-                tag: analyze_port_behavior(result) for tag, result in results.udp1.items()
-            }
-        if "udp2" in selected:
-            results.udp2 = timed("udp2", UdpTimeoutProbe.udp2(repetitions=self.udp_repetitions).run_all)
-        if "udp3" in selected:
-            results.udp3 = timed("udp3", UdpTimeoutProbe.udp3(repetitions=self.udp_repetitions).run_all)
-        if "udp5" in selected:
-            results.udp5 = timed("udp5", UdpServiceProbe(repetitions=self.udp5_repetitions).run_all)
-        if "tcp1" in selected:
-            results.tcp1 = timed("tcp1", TcpTimeoutProbe(cutoff=self.tcp1_cutoff).run_all)
-        if "tcp2" in selected:
-            results.tcp2 = timed("tcp2", ThroughputProbe(transfer_bytes=self.transfer_bytes).run_all)
-        if "tcp4" in selected:
-            results.tcp4 = timed("tcp4", TcpBindingCapacityProbe().run_all)
-        if "icmp" in selected:
-            results.icmp = timed("icmp", IcmpTranslationTest().run_all)
-        if "transports" in selected:
-            results.transports = timed("transports", TransportSupportTest().run_all)
-        if "dns" in selected:
-            results.dns = timed("dns", DnsProxyTest().run_all)
+        try:
+            if "udp1" in selected:
+                results.udp1 = timed("udp1", UdpTimeoutProbe.udp1(repetitions=self.udp_repetitions).run_all)
+                results.udp4 = {
+                    tag: analyze_port_behavior(result) for tag, result in results.udp1.items()
+                }
+            if "udp2" in selected:
+                results.udp2 = timed("udp2", UdpTimeoutProbe.udp2(repetitions=self.udp_repetitions).run_all)
+            if "udp3" in selected:
+                results.udp3 = timed("udp3", UdpTimeoutProbe.udp3(repetitions=self.udp_repetitions).run_all)
+            if "udp5" in selected:
+                results.udp5 = timed("udp5", UdpServiceProbe(repetitions=self.udp5_repetitions).run_all)
+            if "tcp1" in selected:
+                results.tcp1 = timed("tcp1", TcpTimeoutProbe(cutoff=self.tcp1_cutoff).run_all)
+            if "tcp2" in selected:
+                results.tcp2 = timed("tcp2", ThroughputProbe(transfer_bytes=self.transfer_bytes).run_all)
+            if "tcp4" in selected:
+                results.tcp4 = timed("tcp4", TcpBindingCapacityProbe().run_all)
+            if "icmp" in selected:
+                results.icmp = timed("icmp", IcmpTranslationTest().run_all)
+            if "transports" in selected:
+                results.transports = timed("transports", TransportSupportTest().run_all)
+            if "dns" in selected:
+                results.dns = timed("dns", DnsProxyTest().run_all)
+        finally:
+            # Streams must land on disk even when a family dies mid-shard:
+            # a partial trace of a failed run is exactly when you want one.
+            if observer is not None:
+                observer.close()
+                results.metrics = observer.registry
         results.stats = stats
         return results, stats

@@ -29,9 +29,6 @@ DEFAULT_TCP_CUTOFF = 24 * 3600.0  # the paper's 24-hour cutoff
 ESTABLISH_TIMEOUT = 15.0
 RESPONSE_GRACE = 5.0
 
-_nonce_counter = itertools.count(1)
-
-
 @dataclass
 class TcpTimeoutResult:
     """TCP-1 result for one device."""
@@ -105,6 +102,9 @@ class TcpTimeoutProbe:
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, TcpTimeoutResult]:
         tags = list(tags if tags is not None else bed.tags())
+        # Nonces restart per run, for the same reason UDP flow ids do: pcap
+        # determinism requires frame bytes independent of process history.
+        self._nonces = itertools.count(1)
         channel = ManagementChannel(bed.sim)
         daemon = Testrund("server", channel)
         server = _Tcp1Server(bed, self.server_port)
@@ -148,7 +148,7 @@ class TcpTimeoutProbe:
     def _probe(self, bed: Testbed, tag: str, daemon: Testrund, sleep: float, verdict: Future) -> Generator:
         """One TCP-1 probe: connect, identify, idle, poke, observe."""
         port = bed.port(tag)
-        nonce = next(_nonce_counter)
+        nonce = next(self._nonces)
         established = Future(timeout=ESTABLISH_TIMEOUT)
         conn = bed.client.tcp.connect(port.server_ip, self.server_port, iface_index=port.client_iface_index)
         conn.on_established = established.set_result

@@ -45,9 +45,6 @@ INITIAL_PROBE_ATTEMPTS = 3
 
 WELL_KNOWN_SERVICES = {"dns": 53, "tftp": 69, "http": 80, "ntp": 123, "snmp": 161}
 
-_flow_counter = itertools.count(1)
-
-
 @dataclass
 class UdpTimeoutResult:
     """One device's result for one UDP test variant."""
@@ -187,6 +184,10 @@ class UdpTimeoutProbe:
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, UdpTimeoutResult]:
         """Measure every device in parallel (as the paper's testbed does)."""
         tags = list(tags if tags is not None else bed.tags())
+        # Flow ids restart per run: a frame's bytes (and hence a pcap capture)
+        # must depend only on this run's own history, never on how many
+        # probes the hosting process happened to run earlier.
+        self._flows = itertools.count(1)
         channel = ManagementChannel(bed.sim)
         server_daemon = Testrund("server", channel)
         responder = _Responder(bed, self.server_port)
@@ -292,7 +293,7 @@ class _DeviceContext:
         genuinely unreachable — crashed, bricked, or black-holing.
         """
         for _attempt in range(INITIAL_PROBE_ATTEMPTS):
-            flow_id = next(_flow_counter)
+            flow_id = next(self.probe._flows)
             arrival = self.responder.expect(flow_id, timeout=self.probe.grace)
             self._send_probe(flow_id)
             endpoint = yield arrival

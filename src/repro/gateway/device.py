@@ -54,7 +54,24 @@ LAN_IFACE = 1
 
 
 class HomeGateway(Host):
-    """One simulated home gateway, behaving per its :class:`DeviceProfile`."""
+    """One simulated home gateway, behaving per its :class:`DeviceProfile`.
+
+    The profile is pure policy — binding timers, port allocation, mapping
+    and filtering behaviours, forwarding rates and buffers, ICMP handling,
+    quirks — and this class is the machine that interprets it.  The moving
+    parts: a :class:`~repro.gateway.nat.NatEngine` (binding table and its
+    timers), a rate/buffer-limited
+    :class:`~repro.gateway.forwarding.ForwardingEngine`, an ICMP
+    translation engine, a DHCP server and DNS proxy on the LAN side, and a
+    DHCP client on the WAN side (:meth:`start`), plus fault-injection
+    state (:meth:`crash` / :meth:`schedule_crash`).
+
+    Under a trace (see :mod:`repro.obs`) the gateway publishes its life as
+    events attributed to ``profile.tag``: ``pkt.rx``/``pkt.tx`` at
+    ingress/egress, ``pkt.drop`` with a cause (``queue_full``, ``down``,
+    ``no_binding``, ``filtered``, ``fallback``, ``ip_options``, ``flush``),
+    and ``fault.crash``/``fault.boot`` around power cycles.
+    """
 
     def __init__(
         self,
@@ -78,6 +95,7 @@ class HomeGateway(Host):
         self.nat = NatEngine(sim, profile)
         self.nat.port_reserved = self._port_reserved
         self.engine = ForwardingEngine(sim, profile.forwarding)
+        self.engine.label = profile.tag
         self.icmp_translation = IcmpTranslationEngine(profile.icmp, self.nat)
         self.dhcp_server = DhcpServerService(
             self,
@@ -168,12 +186,15 @@ class HomeGateway(Host):
         """
         self.crashes += 1
         self.running = False
+        delay = self.profile.boot_seconds if boot_delay is None else boot_delay
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit("fault.crash", dev=self.profile.tag, boot="never" if delay == float("inf") else delay)
         self.nat.flush()
         self.engine.flush()
         for iface in self.interfaces:
             if iface.endpoint is not None:
                 iface.endpoint.flush()
-        delay = self.profile.boot_seconds if boot_delay is None else boot_delay
         if delay == float("inf"):
             self._boot_timer.cancel()  # bricked: never reboots
             return
@@ -185,6 +206,15 @@ class HomeGateway(Host):
 
     def _finish_boot(self) -> None:
         self.running = True
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit("fault.boot", dev=self.profile.tag)
+
+    def _trace_drop(self, cause: str) -> None:
+        """Publish a ``pkt.drop`` event (no-op when unobserved)."""
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit("pkt.drop", dev=self.profile.tag, cause=cause)
 
     def _port_reserved(self, proto: str, port: int) -> bool:
         if proto == "udp":
@@ -200,6 +230,7 @@ class HomeGateway(Host):
     def receive_frame(self, iface: Interface, frame: Any) -> None:
         if not self.running:
             self.dropped_while_down += 1
+            self._trace_drop("down")
             return
         if frame.ethertype != ETHERTYPE_IPV4:
             return
@@ -208,6 +239,15 @@ class HomeGateway(Host):
         packet = frame.payload
         if not isinstance(packet, IPv4Packet):
             return
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit(
+                "pkt.rx",
+                dev=self.profile.tag,
+                iface="lan" if iface.index == LAN_IFACE else "wan",
+                proto=packet.protocol,
+                size=packet.wire_size(),
+            )
         if packet.src != IPv4Address("0.0.0.0"):
             self.neighbors[(iface.index, packet.src)] = frame.src
         if iface.index == LAN_IFACE:
@@ -241,6 +281,7 @@ class HomeGateway(Host):
         if self.profile.quirks.drops_ip_options and packet.record_route is not None:
             # Medina et al.: packets with IP options frequently just vanish.
             self.dropped_fallback += 1
+            self._trace_drop("ip_options")
             return False
         if self.profile.quirks.decrements_ttl:
             if packet.ttl <= 1:
@@ -286,6 +327,7 @@ class HomeGateway(Host):
         )
         if binding is None:
             self.dropped_no_binding += 1
+            self._trace_drop("no_binding")
             return
         rewrite_source(packet, self.wan_ip, binding.ext_port)
         self.nat.note_outbound(binding)
@@ -311,6 +353,7 @@ class HomeGateway(Host):
         fallback = self.profile.fallback
         if fallback is FallbackBehavior.DROP:
             self.dropped_fallback += 1
+            self._trace_drop("fallback")
             return
         if fallback is FallbackBehavior.IP_ONLY:
             self.nat.generic_outbound(packet.protocol, packet.src, packet.dst)
@@ -327,6 +370,7 @@ class HomeGateway(Host):
         binding = self.nat.find_by_external(proto, transport.dst_port)
         if binding is None:
             self.dropped_no_binding += 1
+            self._trace_drop("no_binding")
             return
         # Hairpin: SNAT to the WAN address, DNAT to the internal target, and
         # bounce the packet back down the LAN side.
@@ -335,6 +379,7 @@ class HomeGateway(Host):
         )
         if out_binding is None:
             self.dropped_no_binding += 1
+            self._trace_drop("no_binding")
             return
         hairpinned = clone_packet(packet)
         rewrite_source(hairpinned, self.wan_ip, out_binding.ext_port)
@@ -367,6 +412,7 @@ class HomeGateway(Host):
         else:
             if not self._generic_inbound(packet):
                 self.dropped_no_binding += 1
+                self._trace_drop("no_binding")
 
     def _forward_down_napt(self, packet: IPv4Packet, proto: str, transport, iface: Interface) -> None:
         binding = self.nat.find_by_external(proto, transport.dst_port)
@@ -377,6 +423,7 @@ class HomeGateway(Host):
                 self.deliver_local(packet, iface)
             else:
                 self.dropped_no_binding += 1  # firewall: silent drop
+                self._trace_drop("no_binding")
             return
         if not self.nat.inbound_allowed(binding, (packet.src, transport.src_port)):
             return
@@ -425,6 +472,7 @@ class HomeGateway(Host):
             return False
         if not self.profile.fallback_allows_inbound:
             self.dropped_no_binding += 1
+            self._trace_drop("filtered")
             return True  # consumed (filtered)
         inbound = clone_packet(packet)
         rewrite_ip_only(inbound, dst=int_ip)
@@ -441,6 +489,9 @@ class HomeGateway(Host):
 
     def _transmit_wan(self, packet: IPv4Packet) -> None:
         self.forwarded_up += 1
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit("pkt.tx", dev=self.profile.tag, dir=UPSTREAM, proto=packet.protocol, size=packet.wire_size())
         iface = self.wan_iface
         next_hop = packet.dst
         if iface.network is None or packet.dst not in iface.network:
@@ -450,6 +501,9 @@ class HomeGateway(Host):
 
     def _transmit_lan(self, packet: IPv4Packet) -> None:
         self.forwarded_down += 1
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit("pkt.tx", dev=self.profile.tag, dir=DOWNSTREAM, proto=packet.protocol, size=packet.wire_size())
         iface = self.lan_iface
         mac = self.neighbors.get((LAN_IFACE, packet.dst), BROADCAST_MAC)
         iface.transmit(EthernetFrame(mac, iface.mac, packet, ETHERTYPE_IPV4))

@@ -23,7 +23,20 @@ _KINDS = ("crash",)
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One scheduled fault, optionally scoped to a single device."""
+    """One scheduled fault, optionally scoped to a single device.
+
+    Parse one from the CLI syntax with :meth:`parse`
+    (``crash@t=30,boot=never,device=dl8``), or construct directly::
+
+        FaultSpec(at=30.0, boot=10.0, device="dl8")
+
+    Scheduling is handled by
+    :meth:`~repro.testbed.testbed.Testbed.schedule_faults`; the survey
+    runner applies the campaign's faults to every family's fresh testbed.
+    Under a trace (see :mod:`repro.obs`) each firing appears as a
+    ``fault.crash`` event (with its boot delay) followed by the flush
+    cascade it causes, and the recovery as ``fault.boot``.
+    """
 
     kind: str = "crash"
     #: Virtual seconds after family bring-up at which the fault fires.

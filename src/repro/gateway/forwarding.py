@@ -64,6 +64,9 @@ class ForwardingEngine:
         self._pending = {lane: False for lane in self._lanes}
         self.forwarded = {UPSTREAM: 0, DOWNSTREAM: 0}
         self.dropped = {UPSTREAM: 0, DOWNSTREAM: 0}
+        #: Observability label (the owning device's tag); names this engine
+        #: in ``pkt.drop`` trace events.
+        self.label: Optional[str] = None
 
     def _lane_for(self, direction: str) -> str:
         return _SHARED if self.policy.shared_queue else direction
@@ -78,6 +81,11 @@ class ForwardingEngine:
         lane = self._lane_for(direction)
         if not self._queues[lane].offer((direction, item, deliver), size_bytes):
             self.dropped[direction] += 1
+            bus = self.sim.bus
+            if bus is not None:
+                # TCP-3's "over-dimensioned transmission buffer" overflowing:
+                # the drop cause the paper could only infer, recorded.
+                bus.emit("pkt.drop", dev=self.label, cause="queue_full", dir=direction, size=size_bytes)
             return False
         self._pump(lane)
         return True
@@ -91,6 +99,8 @@ class ForwardingEngine:
         Pending dispatch events fire harmlessly on the emptied queues; the
         dropped packets are counted against their original direction.
         """
+        bus = self.sim.bus
+        flushed = {UPSTREAM: 0, DOWNSTREAM: 0}
         for queue in self._queues.values():
             while True:
                 entry = queue.poll()
@@ -98,6 +108,11 @@ class ForwardingEngine:
                     break
                 (direction, _item, _deliver), _size = entry
                 self.dropped[direction] += 1
+                flushed[direction] += 1
+        if bus is not None:
+            for direction, count in flushed.items():
+                if count:
+                    bus.emit("pkt.drop", dev=self.label, cause="flush", dir=direction, count=count)
 
     # -- internal ------------------------------------------------------------
 

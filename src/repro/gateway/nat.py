@@ -218,13 +218,18 @@ class NatEngine:
         if binding is not None:
             binding.remotes_seen.add(remote)
             return binding
+        bus = self.sim.bus
         if self.binding_count(proto) >= self._max_bindings(proto):
             self.bindings_refused += 1
+            if bus is not None:
+                bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause="table_full")
             return None
         if self._rate_bucket is not None and not self._rate_bucket.try_consume(self.sim.now, 1):
             # Session-table CPU saturated: the packet that would have opened
             # the binding is dropped (clients retry and usually succeed).
             self.bindings_rate_refused += 1
+            if bus is not None:
+                bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause="rate_limited")
             return None
         ext_port = self._choose_external_port(proto, int_ip, int_port, remote)
         binding = Binding(proto, int_ip, int_port, ext_port, remote)
@@ -235,6 +240,20 @@ class NatEngine:
         self._used_ports[proto].add(ext_port)
         binding.timer = self.sim.timer(self._expire, key)
         self.bindings_created += 1
+        if bus is not None:
+            # Port allocation is part of the bind event: ext_port vs int_port
+            # shows preservation/reuse decisions (UDP-4) on the wire record.
+            bus.emit(
+                "nat.bind",
+                dev=self.profile.tag,
+                proto=proto,
+                int_ip=str(int_ip),
+                int_port=int_port,
+                ext_port=ext_port,
+                remote_ip=str(remote[0]),
+                remote_port=remote[1],
+                preserved=ext_port == int_port,
+            )
         return binding
 
     def _expire(self, key: tuple) -> None:
@@ -243,6 +262,16 @@ class NatEngine:
             return
         self.remove(key)
         self.bindings_expired += 1
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit(
+                "nat.expire",
+                dev=self.profile.tag,
+                proto=binding.proto,
+                ext_port=binding.ext_port,
+                state=binding.state if binding.proto == "udp" else binding.tcp_state,
+                lifetime=self.sim.now - binding.created_at,
+            )
 
     def remove(self, key: tuple) -> None:
         binding = self._by_mapping.pop(key, None)
@@ -266,6 +295,9 @@ class NatEngine:
             if binding.timer is not None:
                 binding.timer.cancel()
         self.bindings_flushed += len(self._by_mapping)
+        bus = self.sim.bus
+        if bus is not None and self._by_mapping:
+            bus.emit("nat.flush", dev=self.profile.tag, count=len(self._by_mapping))
         self._by_mapping.clear()
         self._by_external.clear()
         self._used_ports["udp"].clear()
@@ -303,6 +335,16 @@ class NatEngine:
         timeout = policy.timeout_for(binding.state, binding.remote[1])
         deadline = self._quantize(binding.last_activity + timeout, policy.timer_granularity)
         binding.timer.restart(max(deadline - self.sim.now, 0.0))
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit(
+                "nat.refresh",
+                dev=self.profile.tag,
+                proto="udp",
+                ext_port=binding.ext_port,
+                state=binding.state,
+                deadline=deadline,
+            )
 
     def _rearm_tcp(self, binding: Binding) -> None:
         policy = self.profile.tcp_timeouts
@@ -315,6 +357,16 @@ class NatEngine:
             timeout = policy.transitory
         deadline = self._quantize(binding.last_activity + timeout, policy.timer_granularity)
         binding.timer.restart(max(deadline - self.sim.now, 0.0))
+        bus = self.sim.bus
+        if bus is not None:
+            bus.emit(
+                "nat.refresh",
+                dev=self.profile.tag,
+                proto="tcp",
+                ext_port=binding.ext_port,
+                state=binding.tcp_state,
+                deadline=deadline,
+            )
 
     # -- traffic notifications ---------------------------------------------------------------
 
@@ -372,6 +424,9 @@ class NatEngine:
             allowed = remote in binding.remotes_seen
         if not allowed:
             self.inbound_filtered += 1
+            bus = self.sim.bus
+            if bus is not None:
+                bus.emit("pkt.drop", dev=self.profile.tag, cause="filtered", proto=binding.proto)
         return allowed
 
     # -- ICMP echo bindings -------------------------------------------------------------------------

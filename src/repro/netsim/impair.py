@@ -76,7 +76,17 @@ def _parse_seconds(key: str, text: str) -> float:
 
 @dataclass(frozen=True)
 class Impairment:
-    """A composable, picklable description of one link's misbehaviour."""
+    """A composable, picklable description of one link's misbehaviour.
+
+    Parse one from the CLI syntax with :meth:`parse`
+    (``loss=0.01,reorder=5ms,dup=0.001,flap=30:2``) or construct directly;
+    install it with :meth:`~repro.netsim.link.Link.impair` (a dedicated
+    per-link RNG) or campaign-wide with
+    :meth:`~repro.testbed.testbed.Testbed.apply_impairment`.  Under a
+    trace (see :mod:`repro.obs`) each decision surfaces as a ``link.drop``
+    (cause ``loss``/``corrupt``) or ``link.dup`` event, emitted strictly
+    after the RNG draw so observation never perturbs the outcome.
+    """
 
     #: Per-frame probability the frame is lost in flight.
     loss: float = 0.0
@@ -162,6 +172,7 @@ class LinkImpairer:
     __slots__ = (
         "config",
         "rng",
+        "link",
         "frames_lost",
         "frames_corrupted",
         "frames_duplicated",
@@ -171,6 +182,10 @@ class LinkImpairer:
     def __init__(self, config: Impairment, rng: random.Random):
         self.config = config
         self.rng = rng
+        #: Owning link, set by :meth:`Link.impair`; lets impairment decisions
+        #: surface as ``link.drop``/``link.dup`` trace events.  ``None`` for
+        #: an impairer constructed standalone (e.g. in unit tests).
+        self.link = None
         self.frames_lost = 0
         self.frames_corrupted = 0
         self.frames_duplicated = 0
@@ -185,17 +200,28 @@ class LinkImpairer:
         return jitter
 
     def plan_delivery(self) -> List[float]:
-        """Extra propagation delays for one frame; empty list means dropped."""
+        """Extra propagation delays for one frame; empty list means dropped.
+
+        Trace emission here is strictly after the RNG draws, so observing an
+        impaired link never perturbs its stochastic decisions.
+        """
         config = self.config
         rng = self.rng
+        bus = self.link.sim.bus if self.link is not None else None
         if config.loss and rng.random() < config.loss:
             self.frames_lost += 1
+            if bus is not None:
+                bus.emit("link.drop", link=self.link.label, cause="loss")
             return []
         if config.corrupt and rng.random() < config.corrupt:
             self.frames_corrupted += 1
+            if bus is not None:
+                bus.emit("link.drop", link=self.link.label, cause="corrupt")
             return []
         delays = [self._jitter()]
         if config.dup and rng.random() < config.dup:
             self.frames_duplicated += 1
+            if bus is not None:
+                bus.emit("link.dup", link=self.link.label)
             delays.append(self._jitter())
         return delays

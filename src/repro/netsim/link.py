@@ -47,14 +47,22 @@ class LinkEndpoint:
         """Queue a frame for serialization onto the wire."""
         if not self.queue.offer(frame, frame_wire_size(frame)):
             self.frames_dropped += 1  # tail drop
+            bus = self.link.sim.bus
+            if bus is not None:
+                bus.emit("link.drop", link=self.link.label, cause="tail_drop")
             return
         if not self._transmitting:
             self._start_next()
 
     def flush(self) -> None:
         """Discard everything queued for transmission (counted as drops)."""
-        self.frames_dropped += len(self.queue)
+        flushed = len(self.queue)
+        self.frames_dropped += flushed
         self.queue.clear()
+        if flushed:
+            bus = self.link.sim.bus
+            if bus is not None:
+                bus.emit("link.drop", link=self.link.label, cause="flush", count=flushed)
 
     def _start_next(self) -> None:
         entry = self.queue.poll()
@@ -70,15 +78,25 @@ class LinkEndpoint:
     def _transmission_done(self, frame: Any) -> None:
         link = self.link
         peer = self.peer
+        bus = link.sim.bus
         if peer is None:
             self._start_next()
             return
         if link.broken:
             self.frames_dropped += 1  # in flight when the cable was cut
+            if bus is not None:
+                bus.emit("link.drop", link=link.label, cause="severed")
         elif link.impairer is None:
+            if bus is not None:
+                bus.emit("link.tx", link=link.label, size=frame_wire_size(frame), _frame=frame)
             link.sim.schedule(link.delay, peer.iface.deliver, frame)
             link.frames_carried += 1
         else:
+            # The frame made it onto the wire; what the impairment stage does
+            # to it in flight (loss/corruption/duplication) is the impairer's
+            # own story, published from plan_delivery.
+            if bus is not None:
+                bus.emit("link.tx", link=link.label, size=frame_wire_size(frame), _frame=frame)
             for extra in link.impairer.plan_delivery():
                 link.sim.schedule(link.delay + extra, peer.iface.deliver, frame)
                 link.frames_carried += 1
@@ -108,6 +126,9 @@ class Link:
         self.broken = False
         self.frames_carried = 0
         self.impairer: Optional[LinkImpairer] = None
+        #: Observability label (``"<device>:<role>"`` in the testbed); names
+        #: this link in trace events and pcap files.
+        self.label: str = "link"
 
     def attach(self, iface_a: Interface, iface_b: Interface) -> "Link":
         """Plug both ends in."""
@@ -149,6 +170,7 @@ class Link:
         if rng is None:
             rng = random.Random(self.sim.seed)
         self.impairer = LinkImpairer(config, rng)
+        self.impairer.link = self  # lets the impairer publish trace events
         if config.flap_at is not None:
             self.sim.schedule(config.flap_at, self.sever)
             self.sim.schedule(config.flap_at + config.flap_for, self.mend)

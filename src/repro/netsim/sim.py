@@ -116,6 +116,9 @@ class Timer:
             return
         self._alive = False
         self._deadline = None
+        bus = self._sim.bus
+        if bus is not None:
+            bus.emit("timer.fire", cb=getattr(self._callback, "__qualname__", type(self._callback).__name__))
         self._callback(*self._args)
 
 
@@ -124,6 +127,19 @@ class Simulation:
 
     All model objects (hosts, links, gateways) hold a reference to the one
     ``Simulation`` they live in and schedule their behaviour through it.
+
+    Everything downstream of a ``Simulation`` is a pure function of its
+    ``seed`` plus the model built on top of it: the event heap breaks
+    time ties by insertion sequence, and all stochastic decisions draw
+    either from ``self.rng`` or from RNGs derived deterministically from
+    ``seed`` (per-link impairments, per-shard survey seeds).  That is the
+    foundation of the repo-wide ``jobs=N ≡ jobs=1`` contract.
+
+    Observability attaches here: :meth:`repro.obs.TraceBus.attach` sets
+    ``self.bus``, and every publisher in the model guards its emission
+    with one ``sim.bus is not None`` check — so an unobserved run pays
+    one attribute load per would-be event, and an observed run emits
+    passively (no RNG draws, no scheduling) and measures identically.
     """
 
     def __init__(self, seed: int = 0):
@@ -133,6 +149,11 @@ class Simulation:
         self._seq = itertools.count()
         self.rng = random.Random(seed)
         self.events_processed = 0
+        #: Observability hook: a :class:`repro.obs.TraceBus` when the run is
+        #: being flight-recorded, else ``None``.  Publishers guard every
+        #: emission with an ``is not None`` check, so the disabled path costs
+        #: one attribute load per would-be event and allocates nothing.
+        self.bus = None
         #: Virtual-time ceiling; processing an event past it raises
         #: :class:`WatchdogExpired`.  ``None`` disables the watchdog.
         self.watchdog_limit: Optional[float] = None

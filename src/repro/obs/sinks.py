@@ -1,0 +1,134 @@
+"""Trace-bus sinks: JSONL event logs and per-link pcap captures.
+
+Both sinks write files whose *content is a pure function of the simulation*:
+records are stamped with virtual time only (never wall-clock), dict keys are
+sorted, and floats use Python's shortest-round-trip ``repr`` — so a survey
+traced at ``jobs=4`` produces byte-identical files to ``jobs=1``, and traces
+are diffable artifacts across runs and machines.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Optional, TextIO
+
+from repro.netsim.pcap import DEFAULT_SNAPLEN, write_pcap_header, write_pcap_record
+
+#: Catch-all routing key for events that belong to no particular device
+#: (e.g. ``timer.fire`` in a multi-device testbed).
+SIM_DEVICE = "sim"
+
+
+def _json_default(value: Any) -> str:
+    """Serialize non-JSON scalars (IPv4Address, MacAddress, enums) as text."""
+    return str(value)
+
+
+class JsonlTraceSink:
+    """Route events into one JSON-lines file per device.
+
+    Every record looks like::
+
+        {"family":"udp1","kind":"nat.bind","proto":"udp","t":12.5,...}
+
+    Routing: an event's ``dev`` field names its device; ``link.*`` events
+    route on the device prefix of their ``link`` label (``"je:wan"`` →
+    ``je``); anything unattributed goes to ``default_device`` (the shard's
+    device in a sharded survey, else ``"sim"``).  Underscore-prefixed fields
+    (live objects for binary sinks) are omitted.
+
+    The sink outlives individual testbeds: a survey shard keeps one sink
+    across all its measurement families and updates :attr:`family` between
+    them, so ``<tag>.jsonl`` holds the device's whole campaign in family
+    execution order.
+    """
+
+    def __init__(self, directory: pathlib.Path | str, default_device: Optional[str] = None):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.default_device = default_device or SIM_DEVICE
+        #: Measurement family stamped on each record; set by the observer.
+        self.family: Optional[str] = None
+        self._streams: Dict[str, TextIO] = {}
+        self.records_written = 0
+
+    def _stream_for(self, device: str) -> TextIO:
+        stream = self._streams.get(device)
+        if stream is None:
+            stream = open(self.directory / f"{device}.jsonl", "w", encoding="utf-8")
+            self._streams[device] = stream
+        return stream
+
+    def _route(self, fields: Dict[str, Any]) -> str:
+        device = fields.get("dev")
+        if device is not None:
+            return str(device)
+        label = fields.get("link")
+        if isinstance(label, str) and ":" in label:
+            return label.split(":", 1)[0]
+        return self.default_device
+
+    def handle(self, t: float, kind: str, fields: Dict[str, Any]) -> None:
+        record: Dict[str, Any] = {"t": t, "kind": kind}
+        if self.family is not None:
+            record["family"] = self.family
+        for key, value in fields.items():
+            if not key.startswith("_"):
+                record[key] = value
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"), default=_json_default)
+        self._stream_for(self._route(fields)).write(line + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        for stream in self._streams.values():
+            stream.close()
+        self._streams.clear()
+
+
+class PcapSink:
+    """Write one classic-libpcap capture per link (``link.tx`` events).
+
+    Filenames are ``<dev>.<family>.<role>.pcap`` for links labelled
+    ``"<dev>:<role>"`` (the testbed labels every link it builds), so a
+    traced survey leaves a Wireshark-ready capture of each device's four
+    testbed wires per measurement family.  Frames are serialized to real
+    wire bytes *at capture time* — later in-place NAT rewrites of the same
+    packet object cannot retroactively alter the capture, exactly like a
+    physical tap.
+    """
+
+    def __init__(self, directory: pathlib.Path | str, family: Optional[str] = None, snaplen: int = DEFAULT_SNAPLEN):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.family = family
+        self.snaplen = snaplen
+        self._streams: Dict[str, Any] = {}
+        self.records_written = 0
+
+    def _file_name(self, label: str) -> str:
+        stem = label.replace(":", ".")
+        if self.family:
+            dev, sep, role = label.partition(":")
+            stem = f"{dev}.{self.family}.{role}" if sep else f"{stem}.{self.family}"
+        return f"{stem}.pcap"
+
+    def handle(self, t: float, kind: str, fields: Dict[str, Any]) -> None:
+        if kind != "link.tx":
+            return
+        frame = fields.get("_frame")
+        if frame is None:
+            return
+        label = str(fields.get("link", "link"))
+        stream = self._streams.get(label)
+        if stream is None:
+            stream = open(self.directory / self._file_name(label), "wb")
+            write_pcap_header(stream, self.snaplen)
+            self._streams[label] = stream
+        write_pcap_record(stream, t, frame.to_bytes(), self.snaplen)
+        self.records_written += 1
+
+    def close(self) -> None:
+        for stream in self._streams.values():
+            stream.close()
+        self._streams.clear()

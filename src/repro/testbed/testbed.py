@@ -78,8 +78,9 @@ class Testbed:
 
     # -- construction -----------------------------------------------------
 
-    def _link(self) -> Link:
+    def _link(self, label: str) -> Link:
         link = Link(self.sim, LINK_RATE_BPS, LINK_DELAY)
+        link.label = label
         self.links.append(link)
         return link
 
@@ -93,7 +94,7 @@ class Testbed:
         # Server side: one VLAN interface + per-VLAN DHCP service + DNS A record.
         server_iface = self.server.new_interface()
         server_iface.configure(server_ip, wan_network)
-        self._link().attach(
+        self._link(f"{profile.tag}:srv").attach(
             server_iface, self.wan_switch.new_port(1000 + number)
         )
         DhcpServerService(
@@ -109,17 +110,17 @@ class Testbed:
 
         # The gateway between the two switches.
         gateway = HomeGateway(self.sim, profile, self.macs, lan_network=lan_network)
-        self._link().attach(
+        self._link(f"{profile.tag}:wan").attach(
             gateway.wan_iface, self.wan_switch.new_port(1000 + number)
         )
-        self._link().attach(
+        self._link(f"{profile.tag}:lan").attach(
             gateway.lan_iface, self.lan_switch.new_port(2000 + number)
         )
 
         # Client side: one VLAN interface, configured later by the gateway's
         # DHCP server (interface-specific routes only).
         client_iface = self.client.new_interface()
-        self._link().attach(
+        self._link(f"{profile.tag}:cli").attach(
             client_iface, self.lan_switch.new_port(2000 + number)
         )
 

@@ -74,3 +74,39 @@ def test_unknown_tag_rejected(capsys):
 def test_unknown_test_rejected():
     with pytest.raises(SystemExit):
         main(["probe", "--test", "udp9"])
+
+def test_probe_with_flight_recorder(capsys, tmp_path):
+    code, out = run_cli(
+        capsys, "probe", "--test", "udp1", "--tags", "je", "--repetitions", "1",
+        "--trace", str(tmp_path / "trace"), "--pcap", str(tmp_path / "pcap"), "--metrics",
+    )
+    assert code == 0
+    assert "UDP1 binding timeouts" in out
+    assert (tmp_path / "trace" / "je.jsonl").exists()
+    assert (tmp_path / "pcap" / "je.udp1.wan.pcap").exists()
+    assert '"events.nat.bind"' in out  # --metrics prints the registry JSON
+
+
+def test_trace_summary_command(capsys, tmp_path):
+    code, _ = run_cli(
+        capsys, "probe", "--test", "udp1", "--tags", "je", "--repetitions", "1",
+        "--trace", str(tmp_path / "trace"),
+    )
+    assert code == 0
+    capsys.readouterr()
+    code, out = run_cli(capsys, "trace", str(tmp_path / "trace"))
+    assert code == 0
+    assert out.startswith("je:")
+    assert "nat.bind" in out
+
+    code, out = run_cli(capsys, "trace", "--json", str(tmp_path / "trace" / "je.jsonl"))
+    assert code == 0
+    import json
+
+    summaries = json.loads(out)
+    assert summaries[0]["device"] == "je"
+
+
+def test_trace_command_rejects_empty(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", str(tmp_path)])

@@ -1,0 +1,255 @@
+"""Flight-recorder observability: determinism, pcap framing, metrics, CLI.
+
+The contracts under test:
+
+* an unobserved run carries no recorder state (``sim.bus is None``);
+* tracing is *passive* — a traced campaign produces the same measurements
+  as an untraced one;
+* ``jobs=N`` writes byte-identical trace/pcap files and an identical
+  metrics registry to ``jobs=1``;
+* pcap files are structurally valid classic libpcap (magic, version,
+  linktype, record framing);
+* the metrics registry merges shards with the documented semantics;
+* the markdown report surfaces shard failures;
+* the ``trace`` summary reads back what the JSONL sink wrote.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+import warnings
+
+import pytest
+
+from repro.analysis.report import render_report
+from repro.core import SurveyRunner
+from repro.core.parallel import ShardError
+from repro.core.survey import SurveyResults
+from repro.devices.profile import NatPolicy, UdpTimeoutPolicy
+from repro.netsim.pcap import PCAP_MAGIC, read_pcap
+from repro.netsim.sim import Simulation
+from repro.obs import Histogram, MetricsRegistry, summarize_trace
+from repro.testbed import Testbed
+from tests.conftest import make_profile
+
+FAMILIES = ["udp1", "tcp2"]
+
+
+def _make_profiles():
+    return [
+        make_profile("quick", udp_timeouts=UdpTimeoutPolicy(30.0, 60.0, 90.0),
+                     nat=NatPolicy(max_tcp_bindings=20)),
+        make_profile("slow", udp_timeouts=UdpTimeoutPolicy(120.0, 150.0, 180.0),
+                     nat=NatPolicy(max_tcp_bindings=50)),
+    ]
+
+
+def _run(jobs, root: pathlib.Path):
+    runner = SurveyRunner(
+        _make_profiles(), udp_repetitions=1, udp5_repetitions=1,
+        tcp1_cutoff=300.0, transfer_bytes=256 * 1024, jobs=jobs,
+        trace_dir=str(root / "trace"), pcap_dir=str(root / "pcap"), metrics=True,
+    )
+    with warnings.catch_warnings():
+        # Sandboxes without working process pools fall back to serial.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return runner.run(FAMILIES)
+
+
+class TestDisabledPath:
+    def test_simulation_has_no_bus_by_default(self):
+        assert Simulation().bus is None
+
+    def test_untraced_survey_attaches_nothing(self):
+        bed = Testbed.build([_make_profiles()[0]])
+        assert bed.sim.bus is None
+
+    def test_tracing_is_passive(self, tmp_path):
+        """A traced campaign measures exactly what an untraced one does."""
+        plain = SurveyRunner(
+            _make_profiles(), udp_repetitions=1, udp5_repetitions=1,
+            tcp1_cutoff=300.0, transfer_bytes=256 * 1024,
+        ).run(FAMILIES)
+        traced = _run(1, tmp_path)
+        assert traced == plain  # dataclass equality: every measured field
+
+
+class TestTraceDeterminism:
+    """jobs=4 must write byte-identical artifacts to jobs=1."""
+
+    @pytest.fixture(scope="class")
+    def roots(self, tmp_path_factory):
+        serial_root = tmp_path_factory.mktemp("obs-serial")
+        parallel_root = tmp_path_factory.mktemp("obs-parallel")
+        serial = _run(1, serial_root)
+        parallel = _run(4, parallel_root)
+        return serial, parallel, serial_root, parallel_root
+
+    def test_campaigns_complete(self, roots):
+        serial, parallel, _s, _p = roots
+        assert serial.complete and parallel.complete
+
+    def test_per_device_trace_files(self, roots):
+        _serial, _parallel, serial_root, _p = roots
+        names = sorted(p.name for p in (serial_root / "trace").iterdir())
+        assert names == ["quick.jsonl", "slow.jsonl"]
+
+    def test_trace_bytes_identical(self, roots):
+        _s, _p, serial_root, parallel_root = roots
+        for sub in ("trace", "pcap"):
+            serial_files = sorted((serial_root / sub).iterdir())
+            names = [p.name for p in serial_files]
+            assert names == sorted(p.name for p in (parallel_root / sub).iterdir())
+            for path in serial_files:
+                assert path.read_bytes() == (parallel_root / sub / path.name).read_bytes(), path.name
+
+    def test_metrics_identical(self, roots):
+        serial, parallel, _s, _p = roots
+        assert serial.metrics is not None and parallel.metrics is not None
+        assert serial.metrics.as_dict() == parallel.metrics.as_dict()
+
+    def test_trace_records_are_canonical_json(self, roots):
+        _s, _p, serial_root, _pr = roots
+        for line in (serial_root / "trace" / "quick.jsonl").read_text().splitlines():
+            record = json.loads(line)
+            # Virtual timestamps only, canonical key order, no live objects.
+            assert isinstance(record["t"], (int, float))
+            assert record["kind"]
+            assert not any(key.startswith("_") for key in record)
+            assert line == json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def test_trace_summary_reads_back(self, roots):
+        _s, _p, serial_root, _pr = roots
+        summary = summarize_trace(serial_root / "trace" / "quick.jsonl")
+        assert summary["device"] == "quick"
+        assert summary["records"] == sum(summary["events"].values())
+        assert set(summary["families"]) == set(FAMILIES)
+        assert summary["events"].get("nat.bind", 0) > 0
+
+    def test_metrics_in_registry_match_trace(self, roots):
+        serial, _p, serial_root, _pr = roots
+        counted = 0
+        for path in sorted((serial_root / "trace").iterdir()):
+            counted += summarize_trace(path)["events"].get("nat.bind", 0)
+        assert serial.metrics.counters["events.nat.bind"] == counted
+
+
+class TestPcapFraming:
+    """Captures must be structurally valid classic libpcap."""
+
+    @pytest.fixture(scope="class")
+    def pcap_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("obs-pcap")
+        results = _run(1, root)
+        assert results.complete
+        return root / "pcap"
+
+    def test_per_link_files_exist(self, pcap_dir):
+        names = sorted(p.name for p in pcap_dir.iterdir())
+        for device in ("quick", "slow"):
+            for family in FAMILIES:
+                for role in ("srv", "wan", "lan", "cli"):
+                    assert f"{device}.{family}.{role}.pcap" in names
+
+    def test_global_header(self, pcap_dir):
+        for path in pcap_dir.iterdir():
+            header = path.read_bytes()[:24]
+            magic, major, minor, _tz, _sig, snaplen, linktype = struct.unpack("<IHHiIII", header)
+            assert magic == PCAP_MAGIC
+            assert (major, minor) == (2, 4)
+            assert linktype == 1  # LINKTYPE_ETHERNET
+            assert snaplen >= 1500
+
+    def test_record_lengths_consistent(self, pcap_dir):
+        """Every record's declared caplen matches its body, to the last byte."""
+        for path in pcap_dir.iterdir():
+            blob = path.read_bytes()
+            offset = 24
+            records = 0
+            while offset < len(blob):
+                _sec, _usec, caplen, origlen = struct.unpack("<IIII", blob[offset:offset + 16])
+                assert caplen <= origlen
+                offset += 16 + caplen
+                records += 1
+            assert offset == len(blob)  # no trailing garbage, no truncation
+            # read_pcap (the canonical parser) agrees record for record.
+            assert len(read_pcap(str(path))) == records
+
+    def test_frames_are_ethernet_ipv4(self, pcap_dir):
+        records = read_pcap(str(next(iter(sorted(pcap_dir.iterdir())))))
+        assert records
+        for _ts, frame in records[:10]:
+            assert len(frame) >= 34  # Ethernet + IPv4 headers
+            ethertype = struct.unpack("!H", frame[12:14])[0]
+            assert ethertype == 0x0800
+            assert frame[14] >> 4 == 4  # IPv4 version nibble
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("events.pkt.rx", 3)
+        b.inc("events.pkt.rx", 4)
+        b.inc("events.pkt.tx")
+        a.gauge("nat.table_high_water", 10)
+        b.gauge("nat.table_high_water", 7)
+        a.merge(b)
+        assert a.counters == {"events.pkt.rx": 7, "events.pkt.tx": 1}
+        assert a.gauges == {"nat.table_high_water": 10}  # high-water: max wins
+
+    def test_span_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.record_span("udp1", 100.0)
+        b.record_span("udp1", 50.0)
+        b.record_span("tcp2", 7.0)
+        a.merge(b)
+        assert a.spans["udp1"] == {"count": 2, "virtual_seconds": 150.0}
+        assert a.spans["tcp2"] == {"count": 1, "virtual_seconds": 7.0}
+
+    def test_histogram_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("nat.binding_lifetime_s", 30.0)
+        b.observe("nat.binding_lifetime_s", 3600.0)
+        a.merge(b)
+        histogram = a.histograms["nat.binding_lifetime_s"]
+        assert histogram.count == 2
+        assert histogram.min == 30.0 and histogram.max == 3600.0
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_histogram_overflow_bucket(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        histogram.observe(100.0)
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert histogram.as_dict()["buckets"]["overflow"] == 1
+
+    def test_as_dict_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.inc("events.pkt.rx")
+        registry.observe("nat.binding_lifetime_s", 12.5)
+        registry.record_span("udp1", 42.0)
+        json.dumps(registry.as_dict())  # must not raise
+
+
+class TestReportShardFailures:
+    def test_errors_rendered(self):
+        results = SurveyResults()
+        results.errors = [
+            ShardError(tag="dl8", family="tcp2", error="WatchdogExpired", message="sim hung"),
+            ShardError(tag="ls1", family=None, error="RuntimeError", message="boom"),
+        ]
+        report = render_report(results)
+        assert "## Shard failures" in report
+        assert "| dl8 | tcp2 | WatchdogExpired | sim hung |" in report
+        assert "| ls1 | whole shard | RuntimeError | boom |" in report
+
+    def test_clean_run_has_no_failure_section(self):
+        assert "## Shard failures" not in render_report(SurveyResults())

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Walks every ``*.md`` file in the repository, extracts relative markdown
+links (``[text](path)`` and reference definitions ``[ref]: path``), and
+verifies each target exists.  External links (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#section``) are skipped; a ``path#anchor``
+target is checked for the file only.
+
+Exit status 1 and one line per broken link when anything dangles, so the
+CI docs job fails the moment a rename orphans a reference.
+
+Usage: ``python tools/check_links.py [ROOT]`` (default: repo root).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline links: [text](target).  Excludes images' sizing attrs and stops at
+#: the first unbalanced close paren — good enough for this repo's markdown.
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions: [ref]: target
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: Directories never worth walking into.
+SKIP_DIRS = {".git", ".venv", "__pycache__", "node_modules", ".pytest_cache", ".ruff_cache"}
+
+
+def iter_markdown(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def iter_targets(text: str):
+    for pattern in (INLINE_LINK, REFERENCE_DEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def check(root: pathlib.Path) -> int:
+    broken = []
+    for path in iter_markdown(root):
+        for target in iter_targets(path.read_text(encoding="utf-8")):
+            if is_external(target) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(root)}: broken link -> {target}")
+    for line in broken:
+        print(line)
+    if broken:
+        print(f"\n{len(broken)} broken intra-repo link(s)")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(__file__).resolve().parent.parent
+    sys.exit(check(root))
