@@ -15,6 +15,7 @@ import pathlib
 import pytest
 
 from repro.core.stats import write_bench_json
+from repro.core.store import SCHEMA_VERSION, campaign_fingerprint
 from repro.core.throughput import ThroughputProbe
 from repro.devices import catalog_profiles
 from repro.testbed import Testbed
@@ -49,8 +50,11 @@ def test_tcp_transfer_event_rate(benchmark):
 
     sim = sim_holder["sim"]
     wall = benchmark.stats.stats.mean
+    profile = next(p for p in catalog_profiles() if p.tag == "dl1")
     payload = {
         "bench": "tcp2_single_device_transfer",
+        "schema_version": SCHEMA_VERSION,
+        "config_hash": campaign_fingerprint([profile], 0, {"transfer_bytes": TRANSFER_BYTES}),
         "transfer_bytes": TRANSFER_BYTES,
         "events_processed": sim.events_processed,
         "wall_seconds_mean": wall,

@@ -3,26 +3,21 @@
 Turns a :class:`~repro.core.survey.SurveyResults` into a single markdown
 document with every figure, table and population observation — the artifact
 a measurement campaign would publish.
+
+The family-specific sections are not written here: each experiment family
+registers a :class:`~repro.core.registry.ReportSection` next to its probe,
+and this module renders whatever the registry holds, in section order.  A
+family added to the registry appears in reports without touching this
+package.  Only the campaign-level framing lives here — the Table 1 device
+inventory up top and the shard-failure appendix at the bottom.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Optional
-
-from repro.analysis.figures import render_series, render_series_multi
-from repro.analysis.tables import render_table1, render_table2
-from repro.core.results import DeviceSeries
+from repro.analysis.tables import render_table1
+from repro.core import registry
 from repro.core.survey import SurveyResults
 from repro.devices import catalog_profiles
-
-
-def _udp_series(results, name: str) -> DeviceSeries:
-    series = DeviceSeries(name, "s")
-    for tag, result in results.items():
-        if result.samples:
-            series.add(tag, result.summary())
-    return series
 
 
 def _code_block(text: str) -> str:
@@ -39,85 +34,12 @@ def render_report(results: SurveyResults, title: str = "Home gateway survey") ->
     if profiles:
         sections.append(_code_block(render_table1(profiles)))
 
-    if results.udp1 or results.udp2 or results.udp3:
-        sections.append("## UDP binding timeouts (Figures 2-5)")
-        series = {}
-        for name, data in (("UDP-1", results.udp1), ("UDP-2", results.udp2), ("UDP-3", results.udp3)):
-            if data:
-                series[name] = _udp_series(data, name)
-        if series:
-            order_key = "UDP-1" if "UDP-1" in series else next(iter(series))
-            sections.append(
-                _code_block(
-                    render_series_multi(series, "median binding timeouts [s]", order=series[order_key].ordered_tags())
-                )
-            )
-        for name, data in series.items():
-            stats = data.population()
-            sections.append(f"*{name}*: median {stats['median']:.1f} s, mean {stats['mean']:.1f} s")
-
-    if results.udp4:
-        sections.append("## UDP-4: port preservation and binding reuse")
-        counts = Counter(behavior.category for behavior in results.udp4.values())
-        for category, count in sorted(counts.items()):
-            sections.append(f"- {category}: {count}")
-
-    if results.udp5:
-        sections.append("## UDP-5: per-service timeouts (Figure 6)")
-        per_service = {
-            service: _udp_series(data, service) for service, data in sorted(results.udp5.items())
-        }
-        any_series = next(iter(per_service.values()))
-        sections.append(
-            _code_block(render_series_multi(per_service, "per-service medians [s]", order=any_series.ordered_tags()))
-        )
-
-    if results.tcp1:
-        sections.append("## TCP-1: idle binding timeouts (Figure 7)")
-        series = DeviceSeries("TCP-1", "s")
-        for tag, result in results.tcp1.items():
-            if result.samples:
-                series.add(tag, result.summary())
-            else:
-                series.add_censored(tag, result.cutoff)
-        sections.append(_code_block(render_series(series, "TCP-1 [s]", log_scale=True, censored_label=">cutoff")))
-
-    if results.tcp2:
-        sections.append("## TCP-2/TCP-3: throughput and queuing delay (Figures 8-9)")
-        from repro.core.throughput import ThroughputProbe
-
-        probe = ThroughputProbe()
-        throughput = {
-            "down": probe.throughput_series(results.tcp2, "download"),
-            "up": probe.throughput_series(results.tcp2, "upload"),
-            "down(bi)": probe.throughput_series(results.tcp2, "download_bidir"),
-            "up(bi)": probe.throughput_series(results.tcp2, "upload_bidir"),
-        }
-        sections.append(
-            _code_block(render_series_multi(throughput, "throughput [Mb/s]", order=throughput["down"].ordered_tags()))
-        )
-        delay = {
-            "down": probe.delay_series(results.tcp2, "download"),
-            "up": probe.delay_series(results.tcp2, "upload"),
-            "down(bi)": probe.delay_series(results.tcp2, "download_bidir"),
-            "up(bi)": probe.delay_series(results.tcp2, "upload_bidir"),
-        }
-        sections.append(
-            _code_block(render_series_multi(delay, "queuing delay [ms]", order=delay["down"].ordered_tags()))
-        )
-
-    if results.tcp4:
-        sections.append("## TCP-4: binding capacity (Figure 10)")
-        series = DeviceSeries("TCP-4", "bindings")
-        from repro.core.results import Summary
-
-        for tag, result in results.tcp4.items():
-            series.add(tag, Summary.of([float(result.max_bindings)]))
-        sections.append(_code_block(render_series(series, "max TCP bindings", log_scale=True)))
-
-    if results.icmp and results.transports and results.dns:
-        sections.append("## Other tests (Table 2)")
-        sections.append(_code_block(render_table2(results.icmp, results.transports, results.dns)))
+    for section in registry.report_sections():
+        if not section.wants(results):
+            continue
+        rendered = section.render(results)
+        if rendered:
+            sections.append(rendered)
 
     if results.errors:
         sections.append("## Shard failures")
@@ -136,7 +58,9 @@ def render_report(results: SurveyResults, title: str = "Home gateway survey") ->
 
 
 def _population_tags(results: SurveyResults) -> set:
-    for family in (results.udp1, results.udp2, results.udp3, results.tcp1, results.tcp2, results.tcp4, results.icmp, results.dns):
-        if family:
-            return set(family)
+    """The device tags the campaign measured, from any populated family."""
+    for fam in registry.families():
+        mapping = results.family(fam.name)
+        if mapping:
+            return set(fam.cells_of(mapping))
     return set()

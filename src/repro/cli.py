@@ -26,6 +26,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import render_series, render_table1, series_to_csv
+from repro.analysis.figures import timeout_series
 from repro.compliance import check_device, population_summary
 from repro.core import (
     BindingRateProbe,
@@ -37,15 +38,22 @@ from repro.core import (
     ThroughputProbe,
     TransportSupportTest,
     UdpTimeoutProbe,
+    registry,
 )
 from repro.core.results import DeviceSeries, Summary
 from repro.devices import CATALOG, catalog_profiles
 from repro.obs import ObsConfig, ShardObserver, render_summary, summarize_paths
 from repro.testbed import Testbed
 
-PROBE_CHOICES = (
-    "udp1", "udp2", "udp3", "tcp1", "tcp2", "tcp4",
-    "icmp", "transports", "dns", "options", "binding-rate", "pmtu",
+#: Campaign families, straight from the experiment registry — a family
+#: registered by a core module is a valid ``--tests``/``--families`` value
+#: everywhere without touching this file.
+FAMILY_CHOICES = registry.runnable_names()
+
+#: The single-probe menu: every registry family the probe renderer handles,
+#: plus the diagnostic probes that are not campaign families.
+PROBE_CHOICES = tuple(name for name in FAMILY_CHOICES if name != "udp5") + (
+    "options", "binding-rate", "pmtu",
 )
 
 
@@ -97,14 +105,13 @@ def _report_errors(results, out) -> None:
             out(f"  {error}")
 
 
-def _series_from_timeouts(results, name: str, unit: str, cutoff: Optional[float] = None) -> DeviceSeries:
-    series = DeviceSeries(name, unit)
-    for tag, result in results.items():
-        if result.samples:
-            series.add(tag, result.summary())
-        elif cutoff is not None:
-            series.add_censored(tag, cutoff)
-    return series
+def _family_selection(args) -> Optional[List[str]]:
+    """Resolve ``--families udp1,tcp2`` (preferred) or legacy ``--tests``."""
+    families = getattr(args, "families", None)
+    if families:
+        return [name.strip() for name in families.split(",") if name.strip()]
+    tests = getattr(args, "tests", None)
+    return list(tests) if tests else None
 
 
 def _run_probe(
@@ -130,7 +137,7 @@ def _dispatch_probe(name: str, bed: Testbed, repetitions: int, out) -> Optional[
     if name in ("udp1", "udp2", "udp3"):
         maker = getattr(UdpTimeoutProbe, name)
         results = maker(repetitions=repetitions).run_all(bed)
-        series = _series_from_timeouts(results, name, "s")
+        series = timeout_series(results, name)
         out(render_series(series, f"{name.upper()} binding timeouts [s]"))
         return series
     if name == "tcp1":
@@ -225,6 +232,8 @@ def cmd_probe(args, out) -> int:
 
 def cmd_survey(args, out) -> int:
     tags = _resolve_tags(args.tags)
+    if args.families or args.out or args.resume or args.jobs > 1:
+        return _run_campaign_survey(args, tags, out)
     csv_dir = pathlib.Path(args.csv_dir) if args.csv_dir else None
     if csv_dir:
         csv_dir.mkdir(parents=True, exist_ok=True)
@@ -242,6 +251,41 @@ def cmd_survey(args, out) -> int:
             observer.close()
     _emit_metrics(observer, out)
     return 0
+
+
+def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
+    """The durable campaign path: SurveyRunner + optional store/resume."""
+    from repro.core import SurveyRunner
+    from repro.core.store import StoreError
+
+    if args.resume and not args.out:
+        raise SystemExit("--resume needs --out DIR (the store to resume from)")
+    runner = SurveyRunner(
+        profiles=catalog_profiles(tags),
+        seed=args.seed,
+        udp_repetitions=args.repetitions,
+        jobs=args.jobs,
+        trace_dir=args.trace,
+        pcap_dir=args.pcap,
+        metrics=args.metrics,
+        store_dir=args.out,
+        resume=args.resume,
+    )
+    try:
+        results = runner.run(tests=_family_selection(args))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    except StoreError as exc:
+        raise SystemExit(str(exc)) from None
+    for name, mapping in results.families.items():
+        descriptor = registry.get(name)
+        cells = descriptor.cells_of(mapping) if descriptor is not None else mapping
+        out(f"{name:>10}: {len(cells)} device(s)")
+    if args.out:
+        skipped = f" ({runner.last_skipped_cells} cell(s) reused)" if args.resume else ""
+        out(f"store: {args.out}{skipped}")
+    _report_errors(results, out)
+    return 0 if results.complete else 1
 
 
 def cmd_classify(args, out) -> int:
@@ -268,6 +312,23 @@ def cmd_report(args, out) -> int:
     from repro.core import SurveyRunner
     from repro.devices import catalog_profiles as _profiles
 
+    if args.from_dir:
+        from repro.core.store import CampaignStore, StoreError
+
+        try:
+            store = CampaignStore.open(args.from_dir)
+            results = store.load_results()
+        except StoreError as exc:
+            raise SystemExit(str(exc)) from None
+        title = f"Home gateway survey ({len(store.devices())} devices)"
+        report = render_report(results, title=title)
+        if args.output:
+            pathlib.Path(args.output).write_text(report)
+            out(f"wrote {args.output}")
+        else:
+            out(report)
+        return 0
+
     tags = _resolve_tags(args.tags)
     impairment, faults = _parse_chaos(args)
     runner = SurveyRunner(
@@ -282,7 +343,10 @@ def cmd_report(args, out) -> int:
         pcap_dir=args.pcap,
         metrics=args.metrics,
     )
-    results = runner.run(tests=args.tests)
+    try:
+        results = runner.run(tests=_family_selection(args))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     report = render_report(results, title=f"Home gateway survey ({len(tags)} devices)")
     if args.output:
         pathlib.Path(args.output).write_text(report)
@@ -316,24 +380,32 @@ def cmd_bench(args, out) -> int:
         pcap_dir=args.pcap,
         metrics=args.metrics,
     )
-    results = runner.run(tests=args.tests)
+    selected = _family_selection(args) or list(args.tests)
+    try:
+        results = runner.run(tests=selected)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     stats = results.stats
-    out(f"devices: {len(tags)}   families: {' '.join(args.tests)}   jobs: {args.jobs}")
+    out(f"devices: {len(tags)}   families: {' '.join(selected)}   jobs: {args.jobs}")
     if impairment is not None or faults:
         out(f"impairment: {args.impair or 'none'}   faults: {', '.join(args.fault or []) or 'none'}")
     out(f"elapsed: {runner.last_elapsed:.2f}s wall   {stats.wall_seconds:.2f}s cpu (shard sum)")
     out(f"events: {stats.events_processed}   events/sec (cpu): {stats.events_per_sec:.0f}")
     out(f"stale-entry purges: {stats.stale_purges} ({stats.stale_entries_purged} entries)")
-    for family in args.tests:
+    for family in selected:
         wall = stats.family_wall.get(family, 0.0)
         events = stats.family_events.get(family, 0)
         out(f"  {family:>10}  {wall:8.2f}s  {events:>9} events")
     _report_errors(results, out)
     if args.output:
+        from repro.core.store import SCHEMA_VERSION
+
         payload = {
+            "schema_version": SCHEMA_VERSION,
+            "config_hash": runner.fingerprint(),
             "campaign": {
                 "devices": len(tags),
-                "tests": list(args.tests),
+                "tests": list(selected),
                 "seed": args.seed,
                 "repetitions": args.repetitions,
                 "tcp1_cutoff": args.tcp1_cutoff,
@@ -416,10 +488,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     survey = sub.add_parser("survey", help="run several families")
     survey.add_argument("--tests", nargs="+", default=["udp1", "tcp1", "tcp4"], choices=PROBE_CHOICES)
+    survey.add_argument("--families", metavar="F1,F2",
+                        help=f"comma-joined campaign families ({','.join(FAMILY_CHOICES)}); "
+                        "implies the durable campaign path")
     survey.add_argument("--tags", nargs="*")
     survey.add_argument("--repetitions", type=int, default=3)
     survey.add_argument("--seed", type=int, default=0)
     survey.add_argument("--csv-dir", help="export each series as CSV here")
+    survey.add_argument("--jobs", type=int, default=1, help="shard devices across N worker processes")
+    survey.add_argument("--out", metavar="DIR",
+                        help="persist every (device, family) cell into a campaign store at DIR")
+    survey.add_argument("--resume", action="store_true",
+                        help="with --out: skip cells already in the store, run only the missing ones")
     _add_obs_flags(survey)
     survey.set_defaults(func=cmd_survey)
 
@@ -430,7 +510,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="full markdown survey report")
     report.add_argument("--tests", nargs="+", default=["udp1", "udp2", "udp3", "tcp1", "tcp4"],
-                        choices=("udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns"))
+                        choices=FAMILY_CHOICES)
+    report.add_argument("--families", metavar="F1,F2",
+                        help=f"comma-joined campaign families ({','.join(FAMILY_CHOICES)})")
+    report.add_argument("--from", dest="from_dir", metavar="DIR",
+                        help="render from a campaign store written by `survey --out` (no simulation)")
     report.add_argument("--tags", nargs="*")
     report.add_argument("--repetitions", type=int, default=3)
     report.add_argument("--seed", type=int, default=0)
@@ -444,7 +528,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="time a campaign and dump perf counters")
     bench.add_argument("--tests", nargs="+", default=["udp1", "tcp2"],
-                       choices=("udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns"))
+                       choices=FAMILY_CHOICES)
+    bench.add_argument("--families", metavar="F1,F2",
+                       help=f"comma-joined campaign families ({','.join(FAMILY_CHOICES)})")
     bench.add_argument("--tags", nargs="*")
     bench.add_argument("--repetitions", type=int, default=1)
     bench.add_argument("--seed", type=int, default=0)

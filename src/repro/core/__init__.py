@@ -44,7 +44,16 @@ from repro.core.parallel import (
     run_shards,
     shard_seed,
 )
+from repro.core import registry
+from repro.core.registry import ExperimentFamily, ReportSection
 from repro.core.stats import SimStats, write_bench_json
+from repro.core.store import (
+    SCHEMA_VERSION,
+    CampaignStore,
+    IncompatibleStoreError,
+    StoreError,
+    campaign_fingerprint,
+)
 from repro.core.survey import SurveyResults, SurveyRunner
 
 __all__ = [
@@ -88,6 +97,14 @@ __all__ = [
     "analyze_port_behavior",
     "SurveyResults",
     "SurveyRunner",
+    "registry",
+    "ExperimentFamily",
+    "ReportSection",
+    "SCHEMA_VERSION",
+    "CampaignStore",
+    "StoreError",
+    "IncompatibleStoreError",
+    "campaign_fingerprint",
     "ShardError",
     "ShardFailure",
     "ShardSpec",

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Sequence
 
+from repro.core import registry
 from repro.core.runtime import Future, SimTask, run_tasks
 from repro.protocols.dns import DnsStubResolver
 from repro.testbed.testbed import DEFAULT_ZONE_NAME, Testbed
@@ -118,3 +119,39 @@ class DnsProxyTest:
             elif bed.dns_zone.udp_queries > before_udp:
                 result.upstream_transport_for_tcp = "udp"
         yield 1.0  # settle before the next device reuses the zone counters
+
+
+# ---------------------------------------------------------------------------
+# Registry: family descriptor and store codec.
+# ---------------------------------------------------------------------------
+
+
+def encode_dns_result(result: DnsProxyResult) -> Dict:
+    return {
+        "tag": result.tag,
+        "answers_udp": result.answers_udp,
+        "accepts_tcp": result.accepts_tcp,
+        "answers_tcp": result.answers_tcp,
+        "upstream_transport_for_tcp": result.upstream_transport_for_tcp,
+    }
+
+
+def decode_dns_result(payload: Dict) -> DnsProxyResult:
+    return DnsProxyResult(
+        tag=payload["tag"],
+        answers_udp=bool(payload["answers_udp"]),
+        accepts_tcp=bool(payload["accepts_tcp"]),
+        answers_tcp=bool(payload["answers_tcp"]),
+        upstream_transport_for_tcp=payload["upstream_transport_for_tcp"],
+    )
+
+
+registry.register_family(registry.ExperimentFamily(
+    name="dns",
+    order=100,
+    result_type=DnsProxyResult,
+    description="DNS proxy behaviour over UDP/TCP (Table 2)",
+    probe_factory=lambda knobs: DnsProxyTest().run_all,
+    encode_cell=encode_dns_result,
+    decode_cell=decode_dns_result,
+))

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ipaddress import IPv4Address
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro.core import registry
 from repro.core.runtime import Future, SimTask, run_tasks
 from repro.devices.profile import ICMP_KINDS
 from repro.gateway.icmp_translation import classify_error
@@ -341,3 +342,76 @@ class IcmpTranslationTest:
         )
         observation.transport_rewritten = port_matches and checksum_fresh
         return observation
+
+
+# ---------------------------------------------------------------------------
+# Registry: family descriptor, store codec, and the Table-2 report hook
+# (which also consumes the transport-support and DNS families).
+# ---------------------------------------------------------------------------
+
+
+def _encode_observation(obs: Optional[IcmpObservation]) -> Optional[Dict]:
+    if obs is None:
+        return None
+    return {
+        "forwarded": obs.forwarded,
+        "transport_rewritten": obs.transport_rewritten,
+        "embedded_checksum_ok": obs.embedded_checksum_ok,
+        "as_tcp_rst": obs.as_tcp_rst,
+    }
+
+
+def _decode_observation(payload: Optional[Dict]) -> Optional[IcmpObservation]:
+    if payload is None:
+        return None
+    return IcmpObservation(
+        forwarded=bool(payload["forwarded"]),
+        transport_rewritten=bool(payload["transport_rewritten"]),
+        embedded_checksum_ok=bool(payload["embedded_checksum_ok"]),
+        as_tcp_rst=bool(payload["as_tcp_rst"]),
+    )
+
+
+def encode_icmp_result(result: IcmpTestResult) -> Dict:
+    return {
+        "tag": result.tag,
+        "udp": {kind: _encode_observation(obs) for kind, obs in result.udp.items()},
+        "tcp": {kind: _encode_observation(obs) for kind, obs in result.tcp.items()},
+        "icmp_host_unreach": _encode_observation(result.icmp_host_unreach),
+    }
+
+
+def decode_icmp_result(payload: Dict) -> IcmpTestResult:
+    return IcmpTestResult(
+        tag=payload["tag"],
+        udp={kind: _decode_observation(obs) for kind, obs in payload["udp"].items()},
+        tcp={kind: _decode_observation(obs) for kind, obs in payload["tcp"].items()},
+        icmp_host_unreach=_decode_observation(payload["icmp_host_unreach"]),
+    )
+
+
+def _render_table2(results) -> Optional[str]:
+    from repro import paperdata
+    from repro.analysis.figures import code_block
+    from repro.analysis.tables import render_table2
+
+    return "\n\n".join([
+        f"## Other tests ({paperdata.FAMILY_FIGURES['other']})",
+        code_block(render_table2(results.family("icmp"), results.family("transports"), results.family("dns"))),
+    ])
+
+
+registry.register_family(registry.ExperimentFamily(
+    name="icmp",
+    order=80,
+    result_type=IcmpTestResult,
+    description="ICMP error translation battery (Table 2)",
+    probe_factory=lambda knobs: IcmpTranslationTest().run_all,
+    encode_cell=encode_icmp_result,
+    decode_cell=decode_icmp_result,
+))
+
+registry.register_section(registry.ReportSection(
+    key="table2", order=80, families=("icmp", "transports", "dns"),
+    render=_render_table2, requires_all=True,
+))

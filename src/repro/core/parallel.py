@@ -220,24 +220,23 @@ def run_shards(
 def merge_shards(shard_results: Iterable["SurveyResults"]) -> "SurveyResults":
     """Ordered merge of per-device shard results into one campaign result.
 
-    Every family field is a dict keyed by device tag except ``udp5``, which
-    is keyed service-first; shards arrive in catalog order, so tag insertion
-    order in the merged dicts matches a serial run.
+    Each family merges via its registry descriptor — plain tag-keyed update
+    for most, a nested service-first merge for ``udp5``.  Shards arrive in
+    catalog order, so tag insertion order in the merged mappings matches a
+    serial run.
     """
+    from repro.core import registry
     from repro.core.survey import SurveyResults
 
     merged = SurveyResults()
     for shard in shard_results:
-        merged.udp1.update(shard.udp1)
-        merged.udp2.update(shard.udp2)
-        merged.udp3.update(shard.udp3)
-        merged.udp4.update(shard.udp4)
-        for service, per_device in shard.udp5.items():
-            merged.udp5.setdefault(service, {}).update(per_device)
-        merged.tcp1.update(shard.tcp1)
-        merged.tcp2.update(shard.tcp2)
-        merged.tcp4.update(shard.tcp4)
-        merged.icmp.update(shard.icmp)
-        merged.transports.update(shard.transports)
-        merged.dns.update(shard.dns)
+        for name, mapping in shard.families.items():
+            if not mapping:
+                continue
+            target = merged.families.setdefault(name, {})
+            descriptor = registry.get(name)
+            if descriptor is not None:
+                descriptor.merge_into(target, mapping)
+            else:
+                target.update(mapping)
     return merged

@@ -1,0 +1,239 @@
+"""The experiment-family registry: one pluggable descriptor per family.
+
+The paper's campaign is a fixed menu of experiment families (UDP-1…5,
+TCP-1…4, ICMP, SCTP/DCCP, DNS).  Historically that menu was hard-coded in
+five separate layers — the survey runner's dispatch, the results container,
+the CLI's choice lists, and every analysis module.  This module replaces
+all of that with a single registry:
+
+* :class:`ExperimentFamily` describes one family end to end — how to build
+  its probe from the campaign knobs, what result type it produces, how to
+  encode/decode one device's result to/from JSON (the contract of the
+  on-disk :mod:`campaign store <repro.core.store>`), and how its results
+  merge across per-device shards.
+* :class:`ReportSection` is a render hook: a block of the markdown survey
+  report owned by one or more families.  ``analysis/report.py`` iterates
+  these instead of enumerating family attributes, so a family added here
+  appears in reports without touching ``analysis/`` again.
+
+Each core measurement module registers its families at import time with
+:func:`register_family` / :func:`register_section`; consumers call
+:func:`families`, :func:`runnable_names` or :func:`report_sections`, all
+of which lazily import the family modules first (:func:`ensure_loaded`).
+
+Derived families — UDP-4 is an *analysis* of UDP-1's observed ports, not a
+measurement of its own — carry ``derived_from``/``derive`` instead of a
+probe factory; the survey engine and the store recompute them from the
+parent family's cells.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "ExperimentFamily",
+    "ReportSection",
+    "register_family",
+    "register_section",
+    "ensure_loaded",
+    "families",
+    "family",
+    "get",
+    "runnable_names",
+    "family_names",
+    "derived_families",
+    "report_sections",
+]
+
+#: Modules that register experiment families as an import side effect.
+#: Adding a new family module here is the *only* central edit a new
+#: experiment needs; everything else (survey dispatch, store codecs,
+#: report sections, CLI choices) follows from its registrations.
+FAMILY_MODULES = (
+    "repro.core.udp_timeouts",
+    "repro.core.tcp_binding",
+    "repro.core.throughput",
+    "repro.core.icmp_tests",
+    "repro.core.transport_support",
+    "repro.core.dns_tests",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentFamily:
+    """Everything the campaign machinery needs to know about one family.
+
+    A family's results live in two orientations: the *canonical* mapping
+    its probe returns (device-keyed for most, service-first for UDP-5) and
+    per-device *cells* — the unit the campaign store persists, one JSON
+    blob per ``(device, family)``.  ``cells``/``insert_cell`` convert
+    between the two; the defaults are the identity for device-keyed
+    families.
+    """
+
+    #: Registry key; also the CLI test name (``udp1``, ``transports`` …).
+    name: str
+    #: Execution and report position (ascending).
+    order: int
+    #: The per-device result type (used by round-trip tests and docs).
+    result_type: type
+    #: One-line description for CLI help and error messages.
+    description: str = ""
+    #: ``knobs -> run_all(bed)`` — builds the probe from the campaign's
+    #: knob mapping and returns its population entry point.  ``None`` for
+    #: derived families.
+    probe_factory: Optional[Callable[[Mapping[str, Any]], Callable]] = None
+    #: One device cell -> JSON-compatible payload.
+    encode_cell: Optional[Callable[[Any], Any]] = None
+    #: JSON payload -> one device cell, field-for-field equal to the
+    #: original (tuples restored, floats exact).
+    decode_cell: Optional[Callable[[Any], Any]] = None
+    #: Canonical family mapping -> ``{device_tag: cell}`` (default: identity).
+    cells: Optional[Callable[[Mapping[str, Any]], Dict[str, Any]]] = None
+    #: Insert one device cell into a canonical mapping (default: ``m[tag]=c``).
+    insert_cell: Optional[Callable[[Dict[str, Any], str, Any], None]] = None
+    #: Merge one shard's canonical mapping into the campaign's (default:
+    #: ``dict.update``; UDP-5 needs a nested service-first merge).
+    merge_cells: Optional[Callable[[Dict[str, Any], Mapping[str, Any]], None]] = None
+    #: Name of the family this one is derived from (``None`` = measured).
+    derived_from: Optional[str] = None
+    #: Parent cell -> derived cell (e.g. ``analyze_port_behavior``).
+    derive: Optional[Callable[[Any], Any]] = None
+
+    @property
+    def runnable(self) -> bool:
+        """True when the family runs a probe (False for derived families)."""
+        return self.probe_factory is not None
+
+    def cells_of(self, mapping: Mapping[str, Any]) -> Dict[str, Any]:
+        """Per-device cells of a canonical family mapping."""
+        if self.cells is not None:
+            return self.cells(mapping)
+        return dict(mapping)
+
+    def insert(self, target: Dict[str, Any], tag: str, cell: Any) -> None:
+        """Insert one device's cell into a canonical mapping."""
+        if self.insert_cell is not None:
+            self.insert_cell(target, tag, cell)
+        else:
+            target[tag] = cell
+
+    def merge_into(self, target: Dict[str, Any], mapping: Mapping[str, Any]) -> None:
+        """Fold one shard's canonical mapping into ``target``."""
+        if self.merge_cells is not None:
+            self.merge_cells(target, mapping)
+        else:
+            target.update(mapping)
+
+    def encode(self, cell: Any) -> Any:
+        if self.encode_cell is None:
+            raise TypeError(f"family {self.name!r} has no cell encoder")
+        return self.encode_cell(cell)
+
+    def decode(self, payload: Any) -> Any:
+        if self.decode_cell is None:
+            raise TypeError(f"family {self.name!r} has no cell decoder")
+        return self.decode_cell(payload)
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One block of the markdown survey report, owned by its families.
+
+    ``render`` receives the whole :class:`~repro.core.survey.SurveyResults`
+    and returns the section's markdown (or ``None`` to skip).  The section
+    renders when *any* of its families has results, or — with
+    ``requires_all`` — only when every one of them does (Table 2 needs the
+    ICMP, transport and DNS columns together).
+    """
+
+    key: str
+    order: int
+    families: Tuple[str, ...]
+    render: Callable[[Any], Optional[str]]
+    requires_all: bool = False
+
+    def wants(self, results: Any) -> bool:
+        present = [bool(results.family(name)) for name in self.families]
+        return all(present) if self.requires_all else any(present)
+
+
+_FAMILIES: Dict[str, ExperimentFamily] = {}
+_SECTIONS: Dict[str, ReportSection] = {}
+_LOADED = False
+
+
+def register_family(descriptor: ExperimentFamily) -> ExperimentFamily:
+    """Register one family descriptor (import-time side effect)."""
+    if descriptor.name in _FAMILIES:
+        raise ValueError(f"experiment family {descriptor.name!r} already registered")
+    if descriptor.derived_from is not None and descriptor.derive is None:
+        raise ValueError(f"derived family {descriptor.name!r} needs a derive hook")
+    _FAMILIES[descriptor.name] = descriptor
+    return descriptor
+
+
+def register_section(section: ReportSection) -> ReportSection:
+    """Register one report render hook (import-time side effect)."""
+    if section.key in _SECTIONS:
+        raise ValueError(f"report section {section.key!r} already registered")
+    _SECTIONS[section.key] = section
+    return section
+
+
+def ensure_loaded() -> None:
+    """Import every family module so their registrations have run."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True  # set first: the modules themselves may query the registry
+    for module in FAMILY_MODULES:
+        importlib.import_module(module)
+
+
+def families() -> List[ExperimentFamily]:
+    """All registered families, in execution/report order."""
+    ensure_loaded()
+    return sorted(_FAMILIES.values(), key=lambda f: (f.order, f.name))
+
+
+def family(name: str) -> ExperimentFamily:
+    """Look up one family; raises ``KeyError`` listing the registry."""
+    ensure_loaded()
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment family {name!r}; registered families: "
+            f"{', '.join(family_names())}"
+        ) from None
+
+
+def get(name: str) -> Optional[ExperimentFamily]:
+    """Like :func:`family` but returns ``None`` for unknown names."""
+    ensure_loaded()
+    return _FAMILIES.get(name)
+
+
+def runnable_names() -> Tuple[str, ...]:
+    """Names of the directly runnable families, in execution order."""
+    return tuple(f.name for f in families() if f.runnable)
+
+
+def family_names() -> Tuple[str, ...]:
+    """Every registered family name (runnable and derived), in order."""
+    return tuple(f.name for f in families())
+
+
+def derived_families(parent: str) -> List[ExperimentFamily]:
+    """Families derived from ``parent``, in order."""
+    return [f for f in families() if f.derived_from == parent]
+
+
+def report_sections() -> List[ReportSection]:
+    """All registered report sections, in report order."""
+    ensure_loaded()
+    return sorted(_SECTIONS.values(), key=lambda s: (s.order, s.key))

@@ -1,0 +1,255 @@
+"""Versioned on-disk campaign store: durable, resumable survey results.
+
+Without a store, ``repro report`` re-simulates the whole campaign on every
+invocation and a crash throws away every completed shard.  The store makes
+campaign results durable at *cell* granularity — one JSON blob per
+``(device, family)`` — so an interrupted campaign resumes from where it
+died and a finished one renders reports with zero simulation.
+
+Layout of a store directory::
+
+    DIR/
+      campaign.json            # manifest: schema_version, config hash, meta
+      cells/<device>/<family>.json
+
+Every file carries ``schema_version`` and the campaign *config hash* — a
+fingerprint of ``(profiles, seed, knobs, impairment, faults)``.  Opening a
+store with a different hash (or schema) raises
+:class:`IncompatibleStoreError` instead of silently mixing incomparable
+measurements; the same hash is stamped into ``BENCH_*.json`` so the bench
+trajectory can detect incomparable runs.
+
+Determinism contract: cells are written atomically (temp file + rename)
+with canonical JSON (sorted keys, fixed indent, no timestamps), and a
+cell's bytes are a pure function of the campaign config — so a campaign
+interrupted at any point and resumed produces a store *byte-identical* to
+an uninterrupted run, under any ``jobs=N``.  Family codecs come from the
+:mod:`experiment registry <repro.core.registry>` and are round-trip exact
+(tuples restored, floats preserved), extending the ``jobs=N ≡ jobs=1``
+contract across process restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Union
+
+from repro.core import registry
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.survey import SurveyResults
+    from repro.devices.profile import DeviceProfile
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoreError",
+    "IncompatibleStoreError",
+    "campaign_fingerprint",
+    "CampaignStore",
+]
+
+#: Bump when the store layout or any family's cell encoding changes shape.
+SCHEMA_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """A campaign store could not be opened, read, or written."""
+
+
+class IncompatibleStoreError(StoreError):
+    """The store on disk was produced by an incomparable campaign."""
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    """Write-then-rename so a killed process never leaves a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def campaign_fingerprint(
+    profiles: Sequence["DeviceProfile"],
+    seed: int,
+    knobs: Mapping[str, Any],
+    impairment: Any = None,
+    faults: Iterable[Any] = (),
+) -> str:
+    """Content hash of everything that determines a campaign's measurements.
+
+    Device profiles are hashed through their dataclass ``repr`` (stable and
+    exhaustive over policy fields), chaos through the same ``describe()``
+    strings the CLI prints.  Two campaigns with equal fingerprints produce
+    field-for-field identical cells; unequal fingerprints are incomparable.
+    """
+    parts = {
+        "schema_version": SCHEMA_VERSION,
+        "seed": seed,
+        "profiles": [repr(profile) for profile in profiles],
+        "knobs": {key: knobs[key] for key in sorted(knobs)},
+        "impairment": impairment.describe() if impairment is not None else None,
+        "faults": [fault.describe() for fault in faults],
+    }
+    blob = json.dumps(parts, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class CampaignStore:
+    """One campaign's durable result set, at ``(device, family)`` granularity."""
+
+    MANIFEST = "campaign.json"
+    CELL_DIR = "cells"
+
+    def __init__(self, root: Union[str, pathlib.Path], config_hash: str, meta: Optional[Dict] = None):
+        self.root = pathlib.Path(root)
+        self.config_hash = config_hash
+        self.meta = dict(meta or {})
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def create_or_open(
+        cls,
+        root: Union[str, pathlib.Path],
+        config_hash: str,
+        meta: Optional[Dict] = None,
+    ) -> "CampaignStore":
+        """Open a store for writing, creating the manifest on first use.
+
+        An existing manifest must match both ``schema_version`` and the
+        campaign config hash — cells from different configurations never
+        mix in one directory.
+        """
+        root = pathlib.Path(root)
+        manifest = root / cls.MANIFEST
+        if manifest.exists():
+            existing = cls.open(root)
+            if existing.config_hash != config_hash:
+                raise IncompatibleStoreError(
+                    f"campaign store {root} was produced by a different campaign "
+                    f"configuration (stored hash {existing.config_hash}, this run "
+                    f"{config_hash}); use a fresh --out directory or rerun with "
+                    "the original profiles/seed/knobs/chaos settings"
+                )
+            return existing
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "config_hash": config_hash,
+            **(meta or {}),
+        }
+        _atomic_write(manifest, _canonical_json(payload))
+        return cls(root, config_hash, meta)
+
+    @classmethod
+    def open(cls, root: Union[str, pathlib.Path]) -> "CampaignStore":
+        """Open an existing store read-only-ish (``repro report --from``)."""
+        root = pathlib.Path(root)
+        manifest = root / cls.MANIFEST
+        if not manifest.exists():
+            raise StoreError(f"no campaign store at {root} (missing {cls.MANIFEST})")
+        try:
+            data = json.loads(manifest.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable campaign manifest {manifest}: {exc}") from exc
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise IncompatibleStoreError(
+                f"campaign store {root} has schema_version={version}, "
+                f"this build reads {SCHEMA_VERSION}"
+            )
+        meta = {k: v for k, v in data.items() if k not in ("schema_version", "config_hash")}
+        return cls(root, data["config_hash"], meta)
+
+    # -- cell I/O ------------------------------------------------------------
+
+    def cell_path(self, device: str, family: str) -> pathlib.Path:
+        return self.root / self.CELL_DIR / device / f"{family}.json"
+
+    def has_cell(self, device: str, family: str) -> bool:
+        return self.cell_path(device, family).exists()
+
+    def completed_families(self, device: str) -> Set[str]:
+        """Family names with a durable cell for ``device``."""
+        device_dir = self.root / self.CELL_DIR / device
+        if not device_dir.is_dir():
+            return set()
+        return {path.stem for path in device_dir.glob("*.json")}
+
+    def devices(self) -> List[str]:
+        """Devices with at least one cell, in manifest order when known."""
+        listed = self.meta.get("devices")
+        cell_root = self.root / self.CELL_DIR
+        present = {path.name for path in cell_root.iterdir() if path.is_dir()} if cell_root.is_dir() else set()
+        if listed:
+            ordered = [tag for tag in listed if tag in present]
+            return ordered + sorted(present - set(listed))
+        return sorted(present)
+
+    def save_cell(self, device: str, family: str, payload: Any) -> None:
+        """Persist one encoded cell (atomically, canonical bytes)."""
+        blob = {
+            "schema_version": SCHEMA_VERSION,
+            "config_hash": self.config_hash,
+            "device": device,
+            "family": family,
+            "payload": payload,
+        }
+        _atomic_write(self.cell_path(device, family), _canonical_json(blob))
+
+    def load_cell(self, device: str, family: str) -> Any:
+        """Read one cell's encoded payload, validating version and hash."""
+        path = self.cell_path(device, family)
+        try:
+            blob = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable cell {path}: {exc}") from exc
+        if blob.get("schema_version") != SCHEMA_VERSION:
+            raise IncompatibleStoreError(
+                f"cell {path} has schema_version={blob.get('schema_version')}, expected {SCHEMA_VERSION}"
+            )
+        if blob.get("config_hash") != self.config_hash:
+            raise IncompatibleStoreError(
+                f"cell {path} belongs to campaign {blob.get('config_hash')}, "
+                f"this store is {self.config_hash}"
+            )
+        return blob["payload"]
+
+    # -- whole-campaign loading ---------------------------------------------
+
+    def load_results(
+        self,
+        tags: Optional[Sequence[str]] = None,
+        families: Optional[Sequence[str]] = None,
+    ) -> "SurveyResults":
+        """Decode the store into a :class:`SurveyResults` — zero simulation.
+
+        Families insert in registry order and devices in campaign order, so
+        the loaded container is field-for-field equal to the in-memory
+        results of the run that produced the cells.  Derived families
+        (UDP-4) load like any other; their cells were persisted alongside
+        the parent's.
+        """
+        from repro.core.survey import SurveyResults
+
+        devices = list(tags if tags is not None else self.devices())
+        wanted = set(families) if families is not None else None
+        results = SurveyResults()
+        for fam in registry.families():
+            if wanted is not None and fam.name not in wanted and fam.derived_from not in wanted:
+                continue
+            mapping: Dict[str, Any] = {}
+            for device in devices:
+                if not self.has_cell(device, fam.name):
+                    continue
+                cell = fam.decode(self.load_cell(device, fam.name))
+                fam.insert(mapping, device, cell)
+            if mapping:
+                results.set_family(fam.name, mapping)
+        return results

@@ -1,12 +1,24 @@
 """Run the paper's entire measurement campaign in one call.
 
 :class:`SurveyRunner` executes every experiment family against the device
-population.  The campaign is sharded per device: each device gets its own
-fresh testbed per family (deterministic isolation — residual NAT state from
-one test family can never contaminate another, and no device shares a
-simulation with another), seeded from the campaign seed and the device tag.
-Shards run serially by default, or across worker processes with ``jobs=N``;
-both schedules produce field-for-field identical results.
+population.  The family menu is no longer hard-coded here: the runner
+iterates the :mod:`experiment registry <repro.core.registry>`, so a family
+registered by any core module is measured, merged, persisted and reported
+without touching this file.  The campaign is sharded per device: each
+device gets its own fresh testbed per family (deterministic isolation —
+residual NAT state from one test family can never contaminate another, and
+no device shares a simulation with another), seeded from the campaign seed
+and the device tag.  Shards run serially by default, or across worker
+processes with ``jobs=N``; both schedules produce field-for-field
+identical results.
+
+With ``store_dir`` set, every completed ``(device, family)`` cell is
+persisted to a :class:`~repro.core.store.CampaignStore` as it finishes —
+from inside the worker process, so a campaign killed at any point keeps
+its completed work.  ``resume=True`` skips cells already in the store and
+re-runs only the missing ones; because each family builds a fresh testbed
+from the shard seed, a resumed campaign is field-for-field (and on disk,
+byte-for-byte) identical to an uninterrupted one, under any ``jobs=N``.
 
 Within a shard the paper's parallel/serial discipline per test is preserved:
 a family probe still runs its measurement tasks concurrently in simulated
@@ -17,11 +29,9 @@ alone in its own simulation.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.dns_tests import DnsProxyResult, DnsProxyTest
-from repro.core.icmp_tests import IcmpTestResult, IcmpTranslationTest
+from repro.core import registry
 from repro.core.parallel import (
     ShardError,
     ShardFailure,
@@ -31,21 +41,7 @@ from repro.core.parallel import (
     shard_seed,
 )
 from repro.core.stats import SimStats
-from repro.core.tcp_binding import (
-    TcpBindingCapacityProbe,
-    TcpBindingCapacityResult,
-    TcpTimeoutProbe,
-    TcpTimeoutResult,
-)
-from repro.core.throughput import ThroughputProbe, ThroughputResult
-from repro.core.transport_support import TransportSupportResult, TransportSupportTest
-from repro.core.udp_timeouts import (
-    PortBehavior,
-    UdpServiceProbe,
-    UdpTimeoutProbe,
-    UdpTimeoutResult,
-    analyze_port_behavior,
-)
+from repro.core.store import CampaignStore, campaign_fingerprint
 from repro.devices import catalog_profiles
 from repro.devices.profile import DeviceProfile
 from repro.gateway.faults import FaultSpec
@@ -53,46 +49,95 @@ from repro.netsim.impair import Impairment
 from repro.obs import MetricsRegistry, ObsConfig, ShardObserver
 from repro.testbed.testbed import Testbed
 
+registry.ensure_loaded()
+
 #: Default per-family virtual-time watchdog: far beyond any legitimate
 #: family (TCP-1 caps at 24 h + margin), tight enough to catch a simulation
 #: that a pathological impairment has sent spinning.
 DEFAULT_FAMILY_TIMEOUT = 30 * 24 * 3600.0
 
 
-@dataclass
 class SurveyResults:
     """Everything the campaign produced, keyed the way the paper reports it.
 
-    ``stats`` carries the run's performance counters; it is excluded from
-    equality so that two runs of the same campaign (e.g. serial vs parallel)
-    compare equal on what was *measured*, not on how fast it went.
+    Family results live in one generic container — ``families`` maps each
+    registered family name to its canonical result mapping (device-keyed
+    for most families, service-first for UDP-5).  The historical per-family
+    attributes (``results.udp1`` …) remain as properties over that
+    container, so existing callers and tests read unchanged.
+
+    ``stats``/``metrics`` carry the run's performance counters; they are
+    excluded from equality so that two runs of the same campaign (e.g.
+    serial vs parallel, or resumed vs uninterrupted) compare equal on what
+    was *measured*, not on how fast it went.
     """
 
-    udp1: Dict[str, UdpTimeoutResult] = field(default_factory=dict)
-    udp2: Dict[str, UdpTimeoutResult] = field(default_factory=dict)
-    udp3: Dict[str, UdpTimeoutResult] = field(default_factory=dict)
-    udp4: Dict[str, PortBehavior] = field(default_factory=dict)
-    udp5: Dict[str, Dict[str, UdpTimeoutResult]] = field(default_factory=dict)
-    tcp1: Dict[str, TcpTimeoutResult] = field(default_factory=dict)
-    tcp2: Dict[str, ThroughputResult] = field(default_factory=dict)
-    tcp4: Dict[str, TcpBindingCapacityResult] = field(default_factory=dict)
-    icmp: Dict[str, IcmpTestResult] = field(default_factory=dict)
-    transports: Dict[str, Dict[str, TransportSupportResult]] = field(default_factory=dict)
-    dns: Dict[str, DnsProxyResult] = field(default_factory=dict)
-    #: Shards that failed, in catalog order.  Part of equality (minus retry
-    #: counts) — a campaign that lost a device is not equal to one that
-    #: didn't, under any ``jobs``.
-    errors: List[ShardError] = field(default_factory=list)
-    stats: Optional[SimStats] = field(default=None, compare=False)
-    #: Merged observability metrics when the campaign ran with ``metrics=True``
-    #: (see :mod:`repro.obs`); excluded from equality like ``stats`` — the
-    #: registry records *how much happened*, not what was measured.
-    metrics: Optional[MetricsRegistry] = field(default=None, compare=False)
+    def __init__(
+        self,
+        families: Optional[Mapping[str, Mapping]] = None,
+        errors: Optional[Sequence[ShardError]] = None,
+        stats: Optional[SimStats] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        **family_results: Mapping,
+    ):
+        self.families: Dict[str, Dict] = {}
+        for name, mapping in (families or {}).items():
+            self.families[name] = dict(mapping)
+        for name, mapping in family_results.items():
+            if registry.get(name) is None:
+                raise TypeError(
+                    f"unknown experiment family {name!r}; registered families: "
+                    f"{', '.join(registry.family_names())}"
+                )
+            self.families[name] = dict(mapping)
+        #: Shards that failed, in catalog order.  Part of equality (minus
+        #: retry counts) — a campaign that lost a device is not equal to one
+        #: that didn't, under any ``jobs``.
+        self.errors: List[ShardError] = list(errors or [])
+        self.stats: Optional[SimStats] = stats
+        #: Merged observability metrics when the campaign ran with
+        #: ``metrics=True`` (see :mod:`repro.obs`); excluded from equality
+        #: like ``stats`` — the registry records *how much happened*, not
+        #: what was measured.
+        self.metrics: Optional[MetricsRegistry] = metrics
+
+    def family(self, name: str) -> Dict:
+        """One family's canonical result mapping (empty when absent)."""
+        return self.families.get(name, {})
+
+    def set_family(self, name: str, mapping: Mapping) -> None:
+        self.families[name] = dict(mapping)
 
     @property
     def complete(self) -> bool:
         """True when every shard produced a result."""
         return not self.errors
+
+    def _measured(self) -> Dict[str, Dict]:
+        return {name: mapping for name, mapping in self.families.items() if mapping}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SurveyResults):
+            return NotImplemented
+        return self._measured() == other._measured() and self.errors == other.errors
+
+    def __repr__(self) -> str:
+        populated = ", ".join(f"{name}:{len(mapping)}" for name, mapping in self._measured().items())
+        return f"SurveyResults({populated or 'empty'}, errors={len(self.errors)})"
+
+
+def _family_property(name: str) -> property:
+    def getter(self: SurveyResults) -> Dict:
+        return self.families.setdefault(name, {})
+
+    def setter(self: SurveyResults, value: Mapping) -> None:
+        self.families[name] = value if isinstance(value, dict) else dict(value)
+
+    return property(getter, setter, doc=f"Back-compat accessor for families[{name!r}].")
+
+
+for _family in registry.families():
+    setattr(SurveyResults, _family.name, _family_property(_family.name))
 
 
 class SurveyRunner:
@@ -101,27 +146,29 @@ class SurveyRunner:
     One instance describes a whole measurement campaign: the device
     population, the campaign seed, per-family knobs (repetitions, cutoffs,
     transfer sizes), the chaos configuration (``impairment``/``faults``),
-    the execution schedule (``jobs``), and what the flight recorder should
-    capture (``trace_dir``/``pcap_dir``/``metrics`` — see
-    :mod:`repro.obs`).  :meth:`run` executes the selected families and
-    returns a :class:`SurveyResults`.
+    the execution schedule (``jobs``), the durable result store
+    (``store_dir``/``resume`` — see :mod:`repro.core.store`), and what the
+    flight recorder should capture (``trace_dir``/``pcap_dir``/``metrics``
+    — see :mod:`repro.obs`).  :meth:`run` executes the selected families
+    and returns a :class:`SurveyResults`.
 
     The determinism contract: results (and, when recording, trace/pcap
-    bytes and the metrics registry) are a pure function of
-    ``(profiles, seed)`` — independent of ``jobs``, of which other devices
-    share the population, and of whether a recorder was attached.
+    bytes, the metrics registry and the store's cell bytes) are a pure
+    function of ``(profiles, seed)`` — independent of ``jobs``, of which
+    other devices share the population, of whether a recorder was attached,
+    and of whether the campaign was interrupted and resumed.
 
     Example::
 
-        runner = SurveyRunner(seed=7, jobs=4, metrics=True,
-                              trace_dir="out/trace")
+        runner = SurveyRunner(seed=7, jobs=4, store_dir="out/campaign")
         results = runner.run(tests=["udp1", "tcp2"])
         results.udp1["je"].summary().median   # ≈ 30 s
-        results.metrics.counters              # campaign event counts
+        # later, after a crash: resume=True re-runs only missing cells
     """
 
-    #: Every experiment family the runner knows, in execution order.
-    ALL_TESTS = ("udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns")
+    #: Every directly runnable experiment family, in execution order
+    #: (registry-driven; kept as an attribute for back-compat).
+    ALL_TESTS = registry.runnable_names()
 
     def __init__(
         self,
@@ -139,6 +186,9 @@ class SurveyRunner:
         trace_dir: Optional[str] = None,
         pcap_dir: Optional[str] = None,
         metrics: bool = False,
+        store_dir: Optional[str] = None,
+        resume: bool = False,
+        store_key: Optional[str] = None,
     ):
         self.profiles = list(profiles if profiles is not None else catalog_profiles())
         tags = [profile.tag for profile in self.profiles]
@@ -163,8 +213,35 @@ class SurveyRunner:
         #: :mod:`repro.obs`.  Carried as plain strings/bool so the shard
         #: config stays trivially picklable.
         self.obs = ObsConfig(trace_dir=trace_dir, pcap_dir=pcap_dir, metrics=metrics)
+        #: Directory of the durable campaign store (None = in-memory only).
+        self.store_dir = store_dir
+        #: With ``store_dir``: skip cells already persisted there.
+        self.resume = resume
+        #: Campaign config hash the store cells are stamped with.  Computed
+        #: from this runner's own configuration when not supplied; shard
+        #: workers receive the campaign-level hash through the shard config
+        #: (their single-device fingerprint would differ).
+        self.store_key = store_key
         #: Elapsed wall-clock of the last :meth:`run` (set even when shards fail).
         self.last_elapsed: Optional[float] = None
+        #: Cells skipped by the last resumed :meth:`run`.
+        self.last_skipped_cells: int = 0
+
+    def _knobs(self) -> Dict[str, Any]:
+        """The per-family measurement knobs, as the registry factories see them."""
+        return {
+            "udp_repetitions": self.udp_repetitions,
+            "udp5_repetitions": self.udp5_repetitions,
+            "tcp1_cutoff": self.tcp1_cutoff,
+            "transfer_bytes": self.transfer_bytes,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines this campaign's cells."""
+        knobs = dict(self._knobs(), family_timeout=self.family_timeout)
+        return campaign_fingerprint(
+            self.profiles, self.seed, knobs, impairment=self.impairment, faults=self.faults
+        )
 
     def _fresh_testbed(self) -> Testbed:
         bed = Testbed.build(self.profiles, seed=self.seed)
@@ -190,14 +267,31 @@ class SurveyRunner:
             "trace_dir": self.obs.trace_dir,
             "pcap_dir": self.obs.pcap_dir,
             "metrics": self.obs.metrics,
+            "store_dir": self.store_dir,
+            "store_key": self.store_key or (self.fingerprint() if self.store_dir else None),
         }
 
     def _validate(self, tests: Optional[Sequence[str]]) -> List[str]:
-        selected = list(tests if tests is not None else self.ALL_TESTS)
-        unknown = set(selected) - set(self.ALL_TESTS)
+        """Resolve the family selection, failing with the registered menu."""
+        known = registry.runnable_names()
+        selected = list(tests if tests is not None else known)
+        unknown = [name for name in selected if name not in known]
         if unknown:
-            raise ValueError(f"unknown tests: {sorted(unknown)}")
+            raise ValueError(
+                f"unknown experiment families: {sorted(set(unknown))}; "
+                f"registered families are: {', '.join(known)}"
+            )
         return selected
+
+    def _campaign_meta(self, selected: Sequence[str]) -> Dict:
+        return {
+            "devices": [profile.tag for profile in self.profiles],
+            "seed": self.seed,
+            "families": list(selected),
+            "knobs": self._knobs(),
+            "impairment": self.impairment.describe() if self.impairment is not None else None,
+            "faults": [fault.describe() for fault in self.faults],
+        }
 
     def run(self, tests: Optional[Sequence[str]] = None) -> SurveyResults:
         """Run the selected experiment families (all by default).
@@ -208,16 +302,36 @@ class SurveyRunner:
         :class:`~repro.core.parallel.ShardError` lands in
         ``SurveyResults.errors`` (catalog order) while every other device's
         results are kept, and timing/stats are finalized either way.
+
+        With ``store_dir``, cells persist as they complete and the returned
+        results are decoded from the store — the exact artifact ``repro
+        report --from`` renders later.
         """
         selected = self._validate(tests)
+        store: Optional[CampaignStore] = None
+        to_run: Dict[str, List[str]] = {p.tag: list(selected) for p in self.profiles}
+        self.last_skipped_cells = 0
+        if self.store_dir is not None:
+            fingerprint = self.store_key or self.fingerprint()
+            self.store_key = fingerprint
+            store = CampaignStore.create_or_open(
+                self.store_dir, fingerprint, meta=self._campaign_meta(selected)
+            )
+            if self.resume:
+                for profile in self.profiles:
+                    done = store.completed_families(profile.tag)
+                    missing = [name for name in selected if name not in done]
+                    self.last_skipped_cells += len(selected) - len(missing)
+                    to_run[profile.tag] = missing
         specs = [
             ShardSpec(
                 profile=profile,
                 seed=shard_seed(self.seed, profile.tag),
-                tests=tuple(selected),
+                tests=tuple(to_run[profile.tag]),
                 config=self._shard_config(),
             )
             for profile in self.profiles
+            if to_run[profile.tag]
         ]
         started = time.perf_counter()
         try:
@@ -227,8 +341,18 @@ class SurveyRunner:
             # go stale on the failure path.
             self.last_elapsed = time.perf_counter() - started
         successes = [outcome for outcome in shard_outcomes if not isinstance(outcome, ShardError)]
-        results = merge_shards(shard for shard, _stats in successes)
-        results.errors = [outcome for outcome in shard_outcomes if isinstance(outcome, ShardError)]
+        errors = [outcome for outcome in shard_outcomes if isinstance(outcome, ShardError)]
+        if store is not None:
+            # The store holds every completed cell — from this run's workers
+            # plus all previous interrupted runs.  Decoding it is the same
+            # code path `repro report --from` uses, which is what makes a
+            # resumed campaign indistinguishable from an uninterrupted one.
+            results = store.load_results(
+                tags=[profile.tag for profile in self.profiles], families=selected
+            )
+        else:
+            results = merge_shards(shard for shard, _stats in successes)
+        results.errors = errors
         stats = SimStats(jobs=self.jobs)
         for _shard, shard_stats in successes:
             stats.merge(shard_stats)
@@ -236,11 +360,11 @@ class SurveyRunner:
         if self.obs.metrics:
             # Catalog-order merge: counters add, gauges high-water, spans
             # accumulate — jobs=N lands on the same registry as jobs=1.
-            registry = MetricsRegistry()
+            metrics_registry = MetricsRegistry()
             for shard, _stats in successes:
                 if shard.metrics is not None:
-                    registry.merge(shard.metrics)
-            results.metrics = registry
+                    metrics_registry.merge(shard.metrics)
+            results.metrics = metrics_registry
         return results
 
     # -- shard engine (one device, all families; used by the workers) -------
@@ -254,10 +378,17 @@ class SurveyRunner:
         :class:`~repro.core.parallel.ShardFailure` carrying the device tag
         and family name — and the family's timing still lands in the stats,
         so partial runs account for the work they did.
+
+        When a store is configured, each family's cells (and its derived
+        families' cells) are persisted the moment the family completes, so
+        a shard killed mid-flight keeps everything it finished.
         """
         selected = self._validate(tests)
         results = SurveyResults()
         stats = SimStats()
+        store: Optional[CampaignStore] = None
+        if self.store_dir is not None:
+            store = CampaignStore(self.store_dir, self.store_key or self.fingerprint())
         observer: Optional[ShardObserver] = None
         if self.obs.enabled:
             device = self.profiles[0].tag if len(self.profiles) == 1 else None
@@ -290,30 +421,25 @@ class SurveyRunner:
                     observer.finish(bed, family)
             return outcome
 
+        def persist(family: registry.ExperimentFamily, mapping: Mapping) -> None:
+            if store is None:
+                return
+            for tag, cell in family.cells_of(mapping).items():
+                store.save_cell(tag, family.name, family.encode(cell))
+
         try:
-            if "udp1" in selected:
-                results.udp1 = timed("udp1", UdpTimeoutProbe.udp1(repetitions=self.udp_repetitions).run_all)
-                results.udp4 = {
-                    tag: analyze_port_behavior(result) for tag, result in results.udp1.items()
-                }
-            if "udp2" in selected:
-                results.udp2 = timed("udp2", UdpTimeoutProbe.udp2(repetitions=self.udp_repetitions).run_all)
-            if "udp3" in selected:
-                results.udp3 = timed("udp3", UdpTimeoutProbe.udp3(repetitions=self.udp_repetitions).run_all)
-            if "udp5" in selected:
-                results.udp5 = timed("udp5", UdpServiceProbe(repetitions=self.udp5_repetitions).run_all)
-            if "tcp1" in selected:
-                results.tcp1 = timed("tcp1", TcpTimeoutProbe(cutoff=self.tcp1_cutoff).run_all)
-            if "tcp2" in selected:
-                results.tcp2 = timed("tcp2", ThroughputProbe(transfer_bytes=self.transfer_bytes).run_all)
-            if "tcp4" in selected:
-                results.tcp4 = timed("tcp4", TcpBindingCapacityProbe().run_all)
-            if "icmp" in selected:
-                results.icmp = timed("icmp", IcmpTranslationTest().run_all)
-            if "transports" in selected:
-                results.transports = timed("transports", TransportSupportTest().run_all)
-            if "dns" in selected:
-                results.dns = timed("dns", DnsProxyTest().run_all)
+            for family in registry.families():
+                if not family.runnable or family.name not in selected:
+                    continue
+                mapping = timed(family.name, family.probe_factory(self._knobs()))
+                results.set_family(family.name, mapping)
+                persist(family, mapping)
+                for derived in registry.derived_families(family.name):
+                    derived_mapping: Dict[str, Any] = {}
+                    for tag, cell in family.cells_of(mapping).items():
+                        derived.insert(derived_mapping, tag, derived.derive(cell))
+                    results.set_family(derived.name, derived_mapping)
+                    persist(derived, derived_mapping)
         finally:
             # Streams must land on disk even when a family dies mid-shard:
             # a partial trace of a failed run is exactly when you want one.

@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence
 
+from repro.core import registry
 from repro.core.binary_search import ParallelBindingSearch, SearchOutcome
 from repro.core.results import DeviceSeries, Summary
 from repro.core.runtime import Future, SimTask, run_tasks
@@ -231,3 +232,107 @@ class TcpBindingCapacityProbe:
         results[tag] = TcpBindingCapacityResult(tag, len(open_conns), hit_probe_limit=hit_limit)
         for conn in open_conns:
             conn.abort()
+
+
+# ---------------------------------------------------------------------------
+# Registry: family descriptors, store codecs, report hooks.
+# ---------------------------------------------------------------------------
+
+
+def encode_tcp_timeout_result(result: TcpTimeoutResult) -> Dict:
+    return {
+        "tag": result.tag,
+        "samples": list(result.samples),
+        "censored": result.censored,
+        "cutoff": result.cutoff,
+    }
+
+
+def decode_tcp_timeout_result(payload: Dict) -> TcpTimeoutResult:
+    return TcpTimeoutResult(
+        tag=payload["tag"],
+        samples=[float(v) for v in payload["samples"]],
+        censored=int(payload["censored"]),
+        cutoff=float(payload["cutoff"]),
+    )
+
+
+def encode_tcp_capacity_result(result: TcpBindingCapacityResult) -> Dict:
+    return {
+        "tag": result.tag,
+        "max_bindings": result.max_bindings,
+        "hit_probe_limit": result.hit_probe_limit,
+    }
+
+
+def decode_tcp_capacity_result(payload: Dict) -> TcpBindingCapacityResult:
+    return TcpBindingCapacityResult(
+        tag=payload["tag"],
+        max_bindings=int(payload["max_bindings"]),
+        hit_probe_limit=bool(payload["hit_probe_limit"]),
+    )
+
+
+def _render_tcp1(results) -> Optional[str]:
+    from repro import paperdata
+    from repro.analysis.figures import code_block, render_series
+    from repro.core.results import DeviceSeries
+
+    data = results.family("tcp1")
+    if not data:
+        return None
+    series = DeviceSeries("TCP-1", "s")
+    for tag, result in data.items():
+        if result.samples:
+            series.add(tag, result.summary())
+        else:
+            series.add_censored(tag, result.cutoff)
+    return "\n\n".join([
+        f"## TCP-1: idle binding timeouts ({paperdata.FAMILY_FIGURES['tcp1']})",
+        code_block(render_series(series, "TCP-1 [s]", log_scale=True, censored_label=">cutoff")),
+    ])
+
+
+def _render_tcp4(results) -> Optional[str]:
+    from repro import paperdata
+    from repro.analysis.figures import code_block, render_series
+    from repro.core.results import DeviceSeries, Summary
+
+    data = results.family("tcp4")
+    if not data:
+        return None
+    series = DeviceSeries("TCP-4", "bindings")
+    for tag, result in data.items():
+        series.add(tag, Summary.of([float(result.max_bindings)]))
+    return "\n\n".join([
+        f"## TCP-4: binding capacity ({paperdata.FAMILY_FIGURES['tcp4']})",
+        code_block(render_series(series, "max TCP bindings", log_scale=True)),
+    ])
+
+
+registry.register_family(registry.ExperimentFamily(
+    name="tcp1",
+    order=50,
+    result_type=TcpTimeoutResult,
+    description="TCP-1 idle binding timeout (Figure 7)",
+    probe_factory=lambda knobs: TcpTimeoutProbe(cutoff=knobs.get("tcp1_cutoff", DEFAULT_TCP_CUTOFF)).run_all,
+    encode_cell=encode_tcp_timeout_result,
+    decode_cell=decode_tcp_timeout_result,
+))
+
+registry.register_family(registry.ExperimentFamily(
+    name="tcp4",
+    order=70,
+    result_type=TcpBindingCapacityResult,
+    description="TCP-4 binding capacity (Figure 10)",
+    probe_factory=lambda knobs: TcpBindingCapacityProbe().run_all,
+    encode_cell=encode_tcp_capacity_result,
+    decode_cell=decode_tcp_capacity_result,
+))
+
+registry.register_section(registry.ReportSection(
+    key="tcp1", order=40, families=("tcp1",), render=_render_tcp1,
+))
+registry.register_section(registry.ReportSection(
+    key="tcp4", order=60, families=("tcp4",), render=_render_tcp4,
+))

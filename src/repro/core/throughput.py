@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Sequence
 
+from repro.core import registry
 from repro.core.delay import CHUNK_BYTES, TimestampReader, TimestampWriter
 from repro.core.results import DeviceSeries, Summary
 from repro.core.runtime import Future, SimTask, run_tasks
@@ -221,3 +222,82 @@ class ThroughputProbe:
         conn.on_data = on_data
         conn.on_close = lambda reason: done.set_result(None) if reason in ("timeout", "refused", "reset") else None
         return done
+
+
+# ---------------------------------------------------------------------------
+# Registry: family descriptor, store codec, report hook.
+# ---------------------------------------------------------------------------
+
+_DIRECTIONS = ("upload", "download", "upload_bidir", "download_bidir")
+
+
+def encode_throughput_result(result: ThroughputResult) -> Dict:
+    payload: Dict = {"tag": result.tag}
+    for name in _DIRECTIONS:
+        outcome = getattr(result, name)
+        payload[name] = None if outcome is None else {
+            "throughput_bps": outcome.throughput_bps,
+            "queuing_delay": outcome.queuing_delay,
+            "bytes_moved": outcome.bytes_moved,
+        }
+    return payload
+
+
+def decode_throughput_result(payload: Dict) -> ThroughputResult:
+    def outcome(data):
+        if data is None:
+            return None
+        return TransferOutcome(
+            throughput_bps=float(data["throughput_bps"]),
+            queuing_delay=float(data["queuing_delay"]),
+            bytes_moved=int(data["bytes_moved"]),
+        )
+
+    return ThroughputResult(
+        tag=payload["tag"],
+        **{name: outcome(payload[name]) for name in _DIRECTIONS},
+    )
+
+
+def _render_tcp2(results) -> Optional[str]:
+    from repro import paperdata
+    from repro.analysis.figures import code_block, render_series_multi
+
+    data = results.family("tcp2")
+    if not data:
+        return None
+    probe = ThroughputProbe()
+    throughput = {
+        "down": probe.throughput_series(data, "download"),
+        "up": probe.throughput_series(data, "upload"),
+        "down(bi)": probe.throughput_series(data, "download_bidir"),
+        "up(bi)": probe.throughput_series(data, "upload_bidir"),
+    }
+    delay = {
+        "down": probe.delay_series(data, "download"),
+        "up": probe.delay_series(data, "upload"),
+        "down(bi)": probe.delay_series(data, "download_bidir"),
+        "up(bi)": probe.delay_series(data, "upload_bidir"),
+    }
+    return "\n\n".join([
+        f"## TCP-2/TCP-3: throughput and queuing delay ({paperdata.FAMILY_FIGURES['tcp2']})",
+        code_block(render_series_multi(throughput, "throughput [Mb/s]", order=throughput["down"].ordered_tags())),
+        code_block(render_series_multi(delay, "queuing delay [ms]", order=delay["down"].ordered_tags())),
+    ])
+
+
+registry.register_family(registry.ExperimentFamily(
+    name="tcp2",
+    order=60,
+    result_type=ThroughputResult,
+    description="TCP-2/TCP-3 throughput and queuing delay (Figures 8-9)",
+    probe_factory=lambda knobs: ThroughputProbe(
+        transfer_bytes=knobs.get("transfer_bytes", DEFAULT_TRANSFER_BYTES)
+    ).run_all,
+    encode_cell=encode_throughput_result,
+    decode_cell=decode_throughput_result,
+))
+
+registry.register_section(registry.ReportSection(
+    key="tcp2", order=50, families=("tcp2",), render=_render_tcp2,
+))

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Sequence
 
+from repro.core import registry
 from repro.core.runtime import Future, SimTask, run_tasks
 from repro.packets.ipv4 import PROTO_DCCP, PROTO_SCTP, IPv4Packet
 from repro.testbed.testbed import Testbed
@@ -160,3 +161,46 @@ class TransportSupportTest:
         if conn.state != "CLOSED":
             conn.reset()
         return result
+
+
+# ---------------------------------------------------------------------------
+# Registry: family descriptor and store codec.  The per-device cell is the
+# ``{"sctp": result, "dccp": result}`` mapping the probe produces.
+# ---------------------------------------------------------------------------
+
+
+def encode_transport_cell(cell: Dict[str, TransportSupportResult]) -> Dict:
+    return {
+        protocol: {
+            "tag": result.tag,
+            "protocol": result.protocol,
+            "connected": result.connected,
+            "data_passed": result.data_passed,
+            "wire_view": result.wire_view,
+        }
+        for protocol, result in cell.items()
+    }
+
+
+def decode_transport_cell(payload: Dict) -> Dict[str, TransportSupportResult]:
+    return {
+        protocol: TransportSupportResult(
+            tag=data["tag"],
+            protocol=data["protocol"],
+            connected=bool(data["connected"]),
+            data_passed=bool(data["data_passed"]),
+            wire_view=data["wire_view"],
+        )
+        for protocol, data in payload.items()
+    }
+
+
+registry.register_family(registry.ExperimentFamily(
+    name="transports",
+    order=90,
+    result_type=TransportSupportResult,
+    description="SCTP/DCCP transport support (Table 2)",
+    probe_factory=lambda knobs: TransportSupportTest().run_all,
+    encode_cell=encode_transport_cell,
+    decode_cell=decode_transport_cell,
+))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ipaddress import IPv4Address
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro.core import registry
 from repro.core.binary_search import BindingSearch
 from repro.core.results import DeviceSeries, Summary
 from repro.core.runtime import Future, SimTask, run_tasks
@@ -405,3 +406,171 @@ def analyze_port_behavior(result: UdpTimeoutResult) -> PortBehavior:
         # Started on the preserved port, then refused to re-use it.
         return PortBehavior(result.tag, True, False)
     return PortBehavior(result.tag, False, None)
+
+
+# ---------------------------------------------------------------------------
+# Registry: family descriptors, store codecs, report hooks.
+# ---------------------------------------------------------------------------
+
+
+def encode_udp_timeout_result(result: UdpTimeoutResult) -> Dict:
+    return {
+        "tag": result.tag,
+        "variant": result.variant,
+        "samples": list(result.samples),
+        "censored": result.censored,
+        "observed_ports": [[iteration, port] for iteration, port in result.observed_ports],
+        "client_port": result.client_port,
+    }
+
+
+def decode_udp_timeout_result(payload: Dict) -> UdpTimeoutResult:
+    return UdpTimeoutResult(
+        tag=payload["tag"],
+        variant=payload["variant"],
+        samples=[float(v) for v in payload["samples"]],
+        censored=int(payload["censored"]),
+        observed_ports=[(int(i), int(p)) for i, p in payload["observed_ports"]],
+        client_port=int(payload["client_port"]),
+    )
+
+
+def encode_port_behavior(behavior: PortBehavior) -> Dict:
+    return {
+        "tag": behavior.tag,
+        "preserves_port": behavior.preserves_port,
+        "reuses_binding": behavior.reuses_binding,
+    }
+
+
+def decode_port_behavior(payload: Dict) -> PortBehavior:
+    return PortBehavior(
+        tag=payload["tag"],
+        preserves_port=bool(payload["preserves_port"]),
+        reuses_binding=None if payload["reuses_binding"] is None else bool(payload["reuses_binding"]),
+    )
+
+
+def _udp5_cells(mapping: Dict) -> Dict[str, Dict]:
+    """Service-first canonical mapping -> per-device ``{service: result}`` cells."""
+    cells: Dict[str, Dict] = {}
+    for service, per_device in mapping.items():
+        for tag, result in per_device.items():
+            cells.setdefault(tag, {})[service] = result
+    return cells
+
+
+def _udp5_insert(mapping: Dict, tag: str, cell: Dict) -> None:
+    for service, result in cell.items():
+        mapping.setdefault(service, {})[tag] = result
+
+
+def _udp5_merge(target: Dict, mapping: Dict) -> None:
+    for service, per_device in mapping.items():
+        target.setdefault(service, {}).update(per_device)
+
+
+def _render_udp_timeouts(results) -> Optional[str]:
+    from repro import paperdata
+    from repro.analysis.figures import code_block, render_series_multi, timeout_series
+
+    series = {}
+    for label, name in (("UDP-1", "udp1"), ("UDP-2", "udp2"), ("UDP-3", "udp3")):
+        data = results.family(name)
+        if data:
+            series[label] = timeout_series(data, label)
+    if not series:
+        return None
+    parts = [f"## UDP binding timeouts ({paperdata.FAMILY_FIGURES['udp_timeouts']})"]
+    order_key = "UDP-1" if "UDP-1" in series else next(iter(series))
+    parts.append(
+        code_block(
+            render_series_multi(series, "median binding timeouts [s]", order=series[order_key].ordered_tags())
+        )
+    )
+    for label, data in series.items():
+        stats = data.population()
+        parts.append(f"*{label}*: median {stats['median']:.1f} s, mean {stats['mean']:.1f} s")
+    return "\n\n".join(parts)
+
+
+def _render_udp4(results) -> Optional[str]:
+    from collections import Counter
+
+    counts = Counter(behavior.category for behavior in results.family("udp4").values())
+    if not counts:
+        return None
+    parts = ["## UDP-4: port preservation and binding reuse"]
+    parts.extend(f"- {category}: {count}" for category, count in sorted(counts.items()))
+    return "\n\n".join(parts)
+
+
+def _render_udp5(results) -> Optional[str]:
+    from repro import paperdata
+    from repro.analysis.figures import code_block, render_series_multi, timeout_series
+
+    per_service = {
+        service: timeout_series(data, service)
+        for service, data in sorted(results.family("udp5").items())
+    }
+    if not per_service:
+        return None
+    any_series = next(iter(per_service.values()))
+    return "\n\n".join([
+        f"## UDP-5: per-service timeouts ({paperdata.FAMILY_FIGURES['udp5']})",
+        code_block(render_series_multi(per_service, "per-service medians [s]", order=any_series.ordered_tags())),
+    ])
+
+
+def _udp_probe_factory(variant: str):
+    def factory(knobs):
+        maker = getattr(UdpTimeoutProbe, variant)
+        return maker(repetitions=knobs.get("udp_repetitions", 3)).run_all
+
+    return factory
+
+
+for _variant, _order, _figure in (("udp1", 10, "Figure 3"), ("udp2", 20, "Figure 4"), ("udp3", 30, "Figure 5")):
+    registry.register_family(registry.ExperimentFamily(
+        name=_variant,
+        order=_order,
+        result_type=UdpTimeoutResult,
+        description=f"UDP-{_variant[-1]} binding timeout ({_figure})",
+        probe_factory=_udp_probe_factory(_variant),
+        encode_cell=encode_udp_timeout_result,
+        decode_cell=decode_udp_timeout_result,
+    ))
+
+registry.register_family(registry.ExperimentFamily(
+    name="udp4",
+    order=15,
+    result_type=PortBehavior,
+    description="UDP-4 port preservation / binding reuse (derived from UDP-1)",
+    encode_cell=encode_port_behavior,
+    decode_cell=decode_port_behavior,
+    derived_from="udp1",
+    derive=analyze_port_behavior,
+))
+
+registry.register_family(registry.ExperimentFamily(
+    name="udp5",
+    order=40,
+    result_type=UdpTimeoutResult,
+    description="UDP-5 per-service binding timeouts (Figure 6)",
+    probe_factory=lambda knobs: UdpServiceProbe(repetitions=knobs.get("udp5_repetitions", 1)).run_all,
+    encode_cell=lambda cell: {service: encode_udp_timeout_result(r) for service, r in cell.items()},
+    decode_cell=lambda payload: {service: decode_udp_timeout_result(r) for service, r in payload.items()},
+    cells=_udp5_cells,
+    insert_cell=_udp5_insert,
+    merge_cells=_udp5_merge,
+))
+
+registry.register_section(registry.ReportSection(
+    key="udp_timeouts", order=10, families=("udp1", "udp2", "udp3"), render=_render_udp_timeouts,
+))
+registry.register_section(registry.ReportSection(
+    key="udp4", order=20, families=("udp4",), render=_render_udp4,
+))
+registry.register_section(registry.ReportSection(
+    key="udp5", order=30, families=("udp5",), render=_render_udp5,
+))

@@ -142,7 +142,13 @@ class Simulation:
     passively (no RNG draws, no scheduling) and measures identically.
     """
 
+    #: Process-wide count of Simulation constructions.  Test hook for the
+    #: zero-resimulation guarantee: ``repro report --from DIR`` must render
+    #: without this moving.
+    constructed_total = 0
+
     def __init__(self, seed: int = 0):
+        Simulation.constructed_total += 1
         self.now: float = 0.0
         self.seed = seed
         self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []

@@ -153,3 +153,24 @@ ICMP_BAD_EMBEDDED_IP_CHECKSUM_TAGS = ("zy1", "ls1")
 DNS_TCP_ACCEPTING_DEVICES = 14
 DNS_TCP_ANSWERING_DEVICES = 10
 DNS_TCP_VIA_UDP_TAG = "ap"
+
+# -- Paper anchors per experiment family ------------------------------------------------------------------
+# Which figure/table of the paper each registered experiment family maps to;
+# the registry's report hooks use these for section headers, so a family
+# renamed or added here shows the right anchor everywhere at once.
+
+FAMILY_FIGURES = {
+    "udp_timeouts": "Figures 2-5",
+    "udp1": "Figure 3",
+    "udp2": "Figure 4",
+    "udp3": "Figure 5",
+    "udp4": "§4.1",
+    "udp5": "Figure 6",
+    "tcp1": "Figure 7",
+    "tcp2": "Figures 8-9",
+    "tcp4": "Figure 10",
+    "icmp": "Table 2",
+    "transports": "Table 2",
+    "dns": "Table 2",
+    "other": "Table 2",
+}

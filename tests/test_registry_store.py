@@ -1,0 +1,281 @@
+"""Experiment registry and versioned campaign store.
+
+Covers the registry's descriptor contract (every family decodes what it
+encodes, field for field), the store's resumability guarantee (an
+interrupted ``jobs=N`` campaign resumed with ``--resume`` is byte-identical
+on disk and field-for-field equal in memory to an uninterrupted run), and
+the zero-resimulation guarantee of ``repro report --from``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import registry
+from repro.core.store import (
+    SCHEMA_VERSION,
+    CampaignStore,
+    IncompatibleStoreError,
+    StoreError,
+    campaign_fingerprint,
+)
+from repro.core.survey import SurveyRunner
+from repro.devices.profile import NatPolicy, UdpTimeoutPolicy
+from repro.netsim.sim import Simulation
+from tests.conftest import make_profile
+
+FAMILIES = ["udp1", "udp5", "tcp1", "tcp2", "tcp4", "icmp", "transports", "dns"]
+
+
+def _make_profiles():
+    return [
+        make_profile("quick", udp_timeouts=UdpTimeoutPolicy(30.0, 60.0, 90.0),
+                     nat=NatPolicy(max_tcp_bindings=20)),
+        make_profile("slow", udp_timeouts=UdpTimeoutPolicy(120.0, 150.0, 180.0),
+                     nat=NatPolicy(max_tcp_bindings=50)),
+    ]
+
+
+def _make_runner(jobs=1, **kwargs):
+    return SurveyRunner(
+        _make_profiles(), udp_repetitions=1, udp5_repetitions=1,
+        tcp1_cutoff=300.0, transfer_bytes=256 * 1024, jobs=jobs, **kwargs,
+    )
+
+
+def _tree(root):
+    """Relative paths and bytes of every file under a store directory."""
+    root = pathlib.Path(root)
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*.json"))
+    }
+
+
+class TestRegistry:
+    def test_every_paper_family_registered(self):
+        assert registry.runnable_names() == (
+            "udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4",
+            "icmp", "transports", "dns",
+        )
+        assert "udp4" in registry.family_names()
+
+    def test_derived_family_links_to_parent(self):
+        udp4 = registry.family("udp4")
+        assert not udp4.runnable
+        assert udp4.derived_from == "udp1"
+        assert registry.derived_families("udp1") == [udp4]
+
+    def test_unknown_family_error_lists_registry(self):
+        with pytest.raises(KeyError, match="registered families.*udp1.*dns"):
+            registry.family("udp9")
+
+    def test_runner_validate_lists_registry(self):
+        with pytest.raises(ValueError, match=r"\['udp9'\].*registered families are: udp1"):
+            _make_runner().run(tests=["udp1", "udp9"])
+
+    def test_report_sections_ordered(self):
+        sections = registry.report_sections()
+        orders = [(section.order, section.key) for section in sections]
+        assert orders == sorted(orders)
+        keys = {section.key for section in sections}
+        assert "udp_timeouts" in keys and "table2" in keys
+
+
+class TestCellCodecs:
+    """Every registered family must decode what it encodes, field for field."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return _make_runner().run()  # every registered family
+
+    @pytest.mark.parametrize("name", [
+        "udp1", "udp2", "udp3", "udp4", "udp5", "tcp1", "tcp2", "tcp4",
+        "icmp", "transports", "dns",
+    ])
+    def test_round_trip_exact(self, results, name):
+        fam = registry.family(name)
+        cells = fam.cells_of(results.family(name))
+        assert cells, f"no cells for {name}"
+        for tag, cell in cells.items():
+            payload = fam.encode(cell)
+            # through real JSON, like the store does
+            restored = fam.decode(json.loads(json.dumps(payload)))
+            assert restored == cell, f"{name}/{tag} lost fidelity"
+            assert type(restored) is type(cell)
+
+    def test_udp1_tuples_restored(self, results):
+        fam = registry.family("udp1")
+        for cell in results.udp1.values():
+            restored = fam.decode(json.loads(json.dumps(fam.encode(cell))))
+            for pair in restored.observed_ports:
+                assert isinstance(pair, tuple)
+
+
+class TestFingerprint:
+    def test_stable_for_equal_config(self):
+        knobs = {"udp_repetitions": 1, "tcp1_cutoff": 300.0}
+        a = campaign_fingerprint(_make_profiles(), 7, knobs)
+        b = campaign_fingerprint(_make_profiles(), 7, dict(knobs))
+        assert a == b
+
+    def test_sensitive_to_seed_profiles_and_knobs(self):
+        knobs = {"udp_repetitions": 1}
+        base = campaign_fingerprint(_make_profiles(), 7, knobs)
+        assert campaign_fingerprint(_make_profiles(), 8, knobs) != base
+        assert campaign_fingerprint(_make_profiles()[:1], 7, knobs) != base
+        assert campaign_fingerprint(_make_profiles(), 7, {"udp_repetitions": 2}) != base
+
+
+class TestStoreBasics:
+    def test_open_missing_store_fails(self, tmp_path):
+        with pytest.raises(StoreError, match="no campaign store"):
+            CampaignStore.open(tmp_path / "nope")
+
+    def test_config_hash_mismatch_refused(self, tmp_path):
+        CampaignStore.create_or_open(tmp_path, "aaaa", meta={"devices": []})
+        with pytest.raises(IncompatibleStoreError, match="different campaign"):
+            CampaignStore.create_or_open(tmp_path, "bbbb")
+
+    def test_schema_version_enforced(self, tmp_path):
+        store = CampaignStore.create_or_open(tmp_path, "aaaa")
+        manifest = tmp_path / CampaignStore.MANIFEST
+        data = json.loads(manifest.read_text())
+        data["schema_version"] = SCHEMA_VERSION + 1
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(IncompatibleStoreError, match="schema_version"):
+            CampaignStore.open(tmp_path)
+        del store
+
+    def test_cells_stamped_and_validated(self, tmp_path):
+        store = CampaignStore.create_or_open(tmp_path, "aaaa")
+        store.save_cell("dev", "udp1", {"x": 1})
+        blob = json.loads(store.cell_path("dev", "udp1").read_text())
+        assert blob["schema_version"] == SCHEMA_VERSION
+        assert blob["config_hash"] == "aaaa"
+        assert store.load_cell("dev", "udp1") == {"x": 1}
+        other = CampaignStore(tmp_path, "bbbb")
+        with pytest.raises(IncompatibleStoreError, match="belongs to campaign"):
+            other.load_cell("dev", "udp1")
+
+
+class TestResumableCampaign:
+    """The tentpole guarantee: interrupt + resume ≡ uninterrupted run."""
+
+    @pytest.fixture(scope="class")
+    def clean(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("campaign") / "clean"
+        runner = _make_runner(jobs=1, store_dir=str(out))
+        return runner.run(tests=FAMILIES), out
+
+    def test_store_results_equal_in_memory_results(self, clean):
+        results, _out = clean
+        assert results == _make_runner().run(tests=FAMILIES)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_interrupted_then_resumed_is_identical(self, clean, tmp_path, jobs):
+        clean_results, clean_out = clean
+        out = tmp_path / "resumed"
+        # "Interrupt" the campaign: a first invocation that only got through
+        # a subset of the families before dying.
+        _make_runner(jobs=jobs, store_dir=str(out)).run(tests=FAMILIES[:3])
+        # Simulate a cell lost mid-write on one device too.
+        (out / CampaignStore.CELL_DIR / "slow" / "tcp1.json").unlink(missing_ok=True)
+        # Overwrite the manifest with the full family list the real campaign
+        # would have written before its shards started.
+        manifest_path = clean_out / CampaignStore.MANIFEST
+        (out / CampaignStore.MANIFEST).write_bytes(manifest_path.read_bytes())
+
+        resumer = _make_runner(jobs=jobs, store_dir=str(out), resume=True)
+        resumed = resumer.run(tests=FAMILIES)
+        assert resumer.last_skipped_cells > 0
+        assert resumed == clean_results
+        assert _tree(out) == _tree(clean_out)
+
+    def test_resume_skips_every_completed_cell(self, clean):
+        clean_results, clean_out = clean
+        runner = _make_runner(jobs=1, store_dir=str(clean_out), resume=True)
+        rerun = runner.run(tests=FAMILIES)
+        assert runner.last_skipped_cells == len(FAMILIES) * 2
+        assert rerun == clean_results
+
+    def test_jobs_n_store_matches_jobs_1(self, clean, tmp_path):
+        _clean_results, clean_out = clean
+        out = tmp_path / "par"
+        _make_runner(jobs=4, store_dir=str(out)).run(tests=FAMILIES)
+        assert _tree(out) == _tree(clean_out)
+
+    def test_mismatched_config_refused_with_or_without_resume(self, clean, tmp_path):
+        _results, clean_out = clean
+        for resume in (False, True):
+            runner = _make_runner(jobs=1, store_dir=str(clean_out), resume=resume)
+            runner.seed = 99  # different campaign now
+            with pytest.raises(IncompatibleStoreError):
+                runner.run(tests=FAMILIES)
+
+    def test_worker_persists_cells_as_families_complete(self, tmp_path):
+        # A shard that dies mid-run keeps the families it finished: run one
+        # family, then check its cells exist without any campaign-level
+        # finalization having happened.
+        out = tmp_path / "partial"
+        runner = _make_runner(jobs=1, store_dir=str(out))
+        shard_runner = SurveyRunner(
+            _make_profiles()[:1], udp_repetitions=1, udp5_repetitions=1,
+            tcp1_cutoff=300.0, transfer_bytes=256 * 1024,
+            store_dir=str(out), store_key=runner.fingerprint(),
+        )
+        CampaignStore.create_or_open(str(out), runner.fingerprint())
+        shard_runner.run_shard(["udp1"])
+        store = CampaignStore.open(str(out))
+        assert store.completed_families("quick") == {"udp1", "udp4"}
+
+
+class TestReportFromStore:
+    def test_report_renders_with_zero_simulation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "campaign"
+        _make_runner(jobs=1, store_dir=str(out)).run(tests=FAMILIES)
+        before = Simulation.constructed_total
+        store = CampaignStore.open(str(out))
+        results = store.load_results()
+        from repro.analysis import render_report
+
+        report = render_report(results)
+        assert Simulation.constructed_total == before, "report --from must not simulate"
+        assert "## UDP binding timeouts (Figures 2-5)" in report
+        assert "## Other tests (Table 2)" in report
+        # and through the CLI entry point, still zero construction
+        rc = main(["report", "--from", str(out), "--output", str(tmp_path / "r.md")])
+        assert rc == 0
+        assert Simulation.constructed_total == before
+        assert "## TCP-4: binding capacity (Figure 10)" in (tmp_path / "r.md").read_text()
+
+    def test_report_from_missing_store_is_a_clean_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no campaign store"):
+            main(["report", "--from", str(tmp_path / "missing")])
+
+
+class TestCliFamilies:
+    def test_comma_joined_families_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "store"
+        rc = main([
+            "survey", "--tags", "al", "--families", "udp1,tcp4",
+            "--repetitions", "1", "--out", str(out),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "udp1: 1 device(s)" in printed
+        store = CampaignStore.open(str(out))
+        assert store.completed_families("al") == {"udp1", "udp4", "tcp4"}
+
+    def test_bad_family_lists_registry(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="registered families are: udp1"):
+            main(["survey", "--tags", "al", "--families", "udp1,bogus"])
