@@ -1,0 +1,30 @@
+"""Carrier-grade NAT tier: NAT444 topologies and their experiment families.
+
+The paper measures one home gateway between one client and one server.
+This package puts a second, *shared* NAT in front of a whole population of
+those gateways — the NAT444 deployment shape Richter et al. document — and
+measures what the stacking does:
+
+* :class:`CgnNode` — a carrier-grade NAT built on the same
+  :class:`~repro.gateway.nat.NatEngine` as the homes, with CGN policy
+  (:class:`~repro.devices.cgn_profiles.CgnPolicy`) and a per-subscriber
+  :class:`PortBlockAllocator` installed in the engine's allocator slot.
+* :class:`Nat444Topology` — client hosts behind N home gateways behind one
+  CGN per device profile, in front of the test server.
+* :mod:`repro.cgn.families` — the ``cgn_timeouts`` and ``cgn_exhaustion``
+  experiment families registered through :mod:`repro.core.registry`.
+"""
+
+from repro.cgn.node import CgnNode, PortBlockAllocator
+from repro.cgn.topology import CgnSegment, HomeSlot, Nat444Topology
+from repro.devices.cgn_profiles import CgnPolicy, cgn_device_profile
+
+__all__ = [
+    "CgnNode",
+    "PortBlockAllocator",
+    "CgnPolicy",
+    "cgn_device_profile",
+    "CgnSegment",
+    "HomeSlot",
+    "Nat444Topology",
+]

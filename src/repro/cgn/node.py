@@ -1,0 +1,196 @@
+"""The carrier-grade NAT node and its port-block allocator.
+
+A :class:`CgnNode` *is* a :class:`~repro.gateway.device.HomeGateway` — same
+NAT engine, same forwarding plane, same DHCP/DNS services — configured with
+carrier policy and one crucial substitution: external ports come from a
+:class:`PortBlockAllocator` installed in the engine's pluggable allocator
+slot.  Real CGNs allocate ports in per-subscriber blocks so that abuse
+reports can be mapped back to a subscriber from ``(external port, time)``
+logs (RFC 6888); the side effect this package measures is that the *pool*
+— ``block_count`` blocks shared by every subscriber — becomes the binding
+constraint, and exhaustion arrives per subscriber as their quota fills or
+collectively as the pool drains (the ReDAN failure mode).
+"""
+
+from __future__ import annotations
+
+import zlib
+from ipaddress import IPv4Address, IPv4Network
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.devices.cgn_profiles import CgnPolicy, cgn_device_profile
+from repro.gateway.device import HomeGateway
+from repro.gateway.nat import NatEngine, PortExhaustedError
+from repro.netsim.sim import Simulation
+
+__all__ = ["PortBlockAllocator", "CgnNode"]
+
+
+class PortBlockAllocator:
+    """Per-subscriber port-block allocation over a shared external pool.
+
+    The pool is ``policy.pool_ports`` contiguous ports starting at
+    ``policy.first_external_port``, carved into blocks of
+    ``policy.block_size``.  A subscriber (keyed by internal source address
+    — one home gateway's WAN address) owns zero or more blocks per
+    protocol; a new flow takes the first free port from the subscriber's
+    blocks in acquisition order, acquiring a fresh block only when every
+    owned port is busy.  Block acquisition is where policy lives:
+
+    * ``paired`` pooling hashes the subscriber address (CRC-32, stable
+      across processes) to a preferred block index and probes linearly —
+      the same subscriber always starts from the same block, with zero RNG
+      draws, which keeps ``jobs=N ≡ jobs=1`` trivially intact.
+    * ``random`` pooling draws the starting index from the simulation RNG.
+
+    Exhaustion is deterministic and attributed: when the subscriber is at
+    quota (``blocks_per_subscriber``) or the pool has no free block, the
+    allocator emits ``cgn.block_exhausted`` and raises
+    :class:`~repro.gateway.nat.PortExhaustedError`, which the engine turns
+    into a ``port_exhausted`` refusal (the packet drops; the campaign
+    counts it).
+
+    Every successful block acquisition emits ``cgn.block_alloc`` — both
+    events flow through the generic trace/metrics machinery with no sink
+    changes.
+    """
+
+    def __init__(self, engine: NatEngine, policy: CgnPolicy):
+        self.engine = engine
+        self.policy = policy
+        self.base = policy.first_external_port
+        #: block index -> owning subscriber, per protocol.
+        self._owner: Dict[str, Dict[int, IPv4Address]] = {"udp": {}, "tcp": {}}
+        #: subscriber -> owned block indices in acquisition order, per protocol.
+        self._blocks: Dict[str, Dict[IPv4Address, List[int]]] = {"udp": {}, "tcp": {}}
+        self.blocks_allocated = 0
+        self.blocks_released = 0
+        self.exhaustions = 0
+
+    # -- NatEngine allocator protocol --------------------------------------
+
+    def allocate(self, proto: str, int_ip: IPv4Address, int_port: int, remote: Tuple) -> int:
+        """Pick the external port for a new binding of ``int_ip``'s flow."""
+        owned = self._blocks[proto].setdefault(int_ip, [])
+        for block in owned:
+            port = self._first_free(proto, block)
+            if port is not None:
+                return port
+        while True:
+            block = self._acquire_block(proto, int_ip, owned)
+            port = self._first_free(proto, block)
+            if port is not None:
+                return port
+            # Pathological: every port of the fresh block is reserved by the
+            # device's own services.  Keep the block (it is owned now) and
+            # try to acquire another; quota/pool limits still bound the loop.
+
+    def release(self, proto: str, ext_port: int) -> None:
+        """Called by the engine when a binding on ``ext_port`` goes away."""
+        block = (ext_port - self.base) // self.policy.block_size
+        owner = self._owner[proto].get(block)
+        if owner is None:
+            return
+        start = self.base + block * self.policy.block_size
+        used = self.engine._used_ports[proto]
+        if any(port in used for port in range(start, start + self.policy.block_size)):
+            return  # other flows still live in this block
+        del self._owner[proto][block]
+        self._blocks[proto][owner].remove(block)
+        self.blocks_released += 1
+
+    def reset(self) -> None:
+        """Crash semantics: all block ownership vanishes with the bindings."""
+        for proto in self._owner:
+            self._owner[proto].clear()
+            self._blocks[proto].clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _first_free(self, proto: str, block: int) -> Optional[int]:
+        start = self.base + block * self.policy.block_size
+        for port in range(start, start + self.policy.block_size):
+            if self.engine._port_free(proto, port):
+                return port
+        return None
+
+    def _acquire_block(self, proto: str, int_ip: IPv4Address, owned: List[int]) -> int:
+        count = self.policy.block_count
+        owner = self._owner[proto]
+        if len(owned) >= self.policy.blocks_per_subscriber:
+            self._refuse(proto, int_ip, "quota")
+        if len(owner) >= count:
+            self._refuse(proto, int_ip, "pool")
+        if self.policy.pooling == "random":
+            start = self.engine.sim.rng.randrange(count)
+        else:
+            # Paired pooling: a subscriber's preferred block is a pure
+            # function of its address, so re-binding after expiry lands in
+            # the same region of the pool (and draws no randomness).
+            start = zlib.crc32(str(int_ip).encode("ascii")) % count
+        for offset in range(count):
+            block = (start + offset) % count
+            if block not in owner:
+                owner[block] = int_ip
+                owned.append(block)
+                self.blocks_allocated += 1
+                bus = self.engine.sim.bus
+                if bus is not None:
+                    bus.emit(
+                        "cgn.block_alloc",
+                        dev=self.engine.profile.tag,
+                        subscriber=str(int_ip),
+                        proto=proto,
+                        block=block,
+                        base=self.base + block * self.policy.block_size,
+                        size=self.policy.block_size,
+                    )
+                return block
+        self._refuse(proto, int_ip, "pool")  # unreachable guard kept for safety
+        raise AssertionError("unreachable")
+
+    def _refuse(self, proto: str, int_ip: IPv4Address, cause: str) -> None:
+        self.exhaustions += 1
+        bus = self.engine.sim.bus
+        if bus is not None:
+            bus.emit(
+                "cgn.block_exhausted",
+                dev=self.engine.profile.tag,
+                subscriber=str(int_ip),
+                proto=proto,
+                cause=cause,
+            )
+        raise PortExhaustedError(
+            f"{self.engine.profile.tag}: subscriber {int_ip} {proto} block "
+            f"allocation refused ({cause})"
+        )
+
+
+class CgnNode(HomeGateway):
+    """One carrier-grade NAT: a gateway running carrier policy.
+
+    The "LAN" side is the ISP access network (RFC 6598 shared address
+    space, ``100.64.0.0/10``) where the subscriber homes' WAN interfaces
+    live; the CGN's own DHCP server leases them their addresses, exactly as
+    a home gateway leases its clients.  The "WAN" side faces the test
+    server.  Everything a :class:`~repro.gateway.device.HomeGateway` does —
+    NAPT, ICMP translation, hairpinning (when enabled), crash faults, trace
+    events attributed to its tag — works unchanged at this tier; the single
+    functional difference is the :class:`PortBlockAllocator` owning port
+    selection.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        policy: CgnPolicy,
+        mac_pool: Any,
+        access_network: IPv4Network,
+        tag: str = "cgn",
+        name: Optional[str] = None,
+    ):
+        profile = cgn_device_profile(policy, tag=tag)
+        super().__init__(sim, profile, mac_pool, lan_network=access_network, name=name)
+        self.policy = policy
+        self.allocator = PortBlockAllocator(self.nat, policy)
+        self.nat.allocator = self.allocator

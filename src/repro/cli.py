@@ -51,10 +51,25 @@ from repro.testbed import Testbed
 FAMILY_CHOICES = registry.runnable_names()
 
 #: The single-probe menu: every registry family the probe renderer handles,
-#: plus the diagnostic probes that are not campaign families.
-PROBE_CHOICES = tuple(name for name in FAMILY_CHOICES if name != "udp5") + (
+#: plus the diagnostic probes that are not campaign families.  Opt-in
+#: families (``default_selected=False``, e.g. the NAT444 pair) run their own
+#: topology through the campaign path and are excluded here.
+PROBE_CHOICES = tuple(
+    name for name in FAMILY_CHOICES
+    if name != "udp5" and registry.get(name).default_selected
+) + (
     "options", "binding-rate", "pmtu",
 )
+
+#: The families ``--cgn`` adds to (or selects for) a campaign.
+CGN_FAMILIES = ("cgn_timeouts", "cgn_exhaustion")
+
+#: Per-command fallbacks when neither ``--tests`` nor ``--families`` nor
+#: ``--cgn`` picked anything.  Kept out of argparse defaults so the commands
+#: can tell "user chose these" from "nothing chosen".
+DEFAULT_SURVEY_TESTS = ["udp1", "tcp1", "tcp4"]
+DEFAULT_REPORT_TESTS = ["udp1", "udp2", "udp3", "tcp1", "tcp4"]
+DEFAULT_BENCH_TESTS = ["udp1", "tcp2"]
 
 
 def _resolve_tags(tags: Optional[Sequence[str]]) -> List[str]:
@@ -112,6 +127,21 @@ def _family_selection(args) -> Optional[List[str]]:
         return [name.strip() for name in families.split(",") if name.strip()]
     tests = getattr(args, "tests", None)
     return list(tests) if tests else None
+
+
+def _cgn_selection(args, base: Optional[List[str]], default: List[str]) -> List[str]:
+    """Fold ``--cgn`` into a family selection.
+
+    With an explicit ``--tests``/``--families`` selection the CGN families
+    are appended; with none, ``--cgn`` alone means "the NAT444 campaign"
+    (just the CGN pair, not the CGN pair plus the command's default menu).
+    Without ``--cgn`` the command's own ``default`` fills in.
+    """
+    if not getattr(args, "cgn", False):
+        return base if base is not None else list(default)
+    if base is None:
+        return list(CGN_FAMILIES)
+    return base + [name for name in CGN_FAMILIES if name not in base]
 
 
 def _run_probe(
@@ -232,7 +262,7 @@ def cmd_probe(args, out) -> int:
 
 def cmd_survey(args, out) -> int:
     tags = _resolve_tags(args.tags)
-    if args.families or args.out or args.resume or args.jobs > 1:
+    if args.families or args.cgn or args.out or args.resume or args.jobs > 1:
         return _run_campaign_survey(args, tags, out)
     csv_dir = pathlib.Path(args.csv_dir) if args.csv_dir else None
     if csv_dir:
@@ -240,7 +270,7 @@ def cmd_survey(args, out) -> int:
     obs = _obs_config(args)
     observer = ShardObserver(obs) if obs.enabled else None
     try:
-        for name in args.tests:
+        for name in args.tests or DEFAULT_SURVEY_TESTS:
             out(f"\n=== {name} ===")
             series = _run_probe(name, tags, args.repetitions, args.seed, out, observer=observer)
             if series is not None and csv_dir:
@@ -264,6 +294,8 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
         profiles=catalog_profiles(tags),
         seed=args.seed,
         udp_repetitions=args.repetitions,
+        cgn_subscribers=args.subscribers,
+        cgn_block_size=args.block_size,
         jobs=args.jobs,
         trace_dir=args.trace,
         pcap_dir=args.pcap,
@@ -272,7 +304,9 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
         resume=args.resume,
     )
     try:
-        results = runner.run(tests=_family_selection(args))
+        results = runner.run(
+            tests=_cgn_selection(args, _family_selection(args), DEFAULT_SURVEY_TESTS)
+        )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     except StoreError as exc:
@@ -336,6 +370,8 @@ def cmd_report(args, out) -> int:
         seed=args.seed,
         udp_repetitions=args.repetitions,
         udp5_repetitions=1,
+        cgn_subscribers=args.subscribers,
+        cgn_block_size=args.block_size,
         jobs=args.jobs,
         impairment=impairment,
         faults=faults,
@@ -344,7 +380,9 @@ def cmd_report(args, out) -> int:
         metrics=args.metrics,
     )
     try:
-        results = runner.run(tests=_family_selection(args))
+        results = runner.run(
+            tests=_cgn_selection(args, _family_selection(args), DEFAULT_REPORT_TESTS)
+        )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     report = render_report(results, title=f"Home gateway survey ({len(tags)} devices)")
@@ -373,6 +411,8 @@ def cmd_bench(args, out) -> int:
         udp5_repetitions=1,
         tcp1_cutoff=args.tcp1_cutoff,
         transfer_bytes=args.transfer_bytes,
+        cgn_subscribers=args.subscribers,
+        cgn_block_size=args.block_size,
         jobs=args.jobs,
         impairment=impairment,
         faults=faults,
@@ -380,7 +420,7 @@ def cmd_bench(args, out) -> int:
         pcap_dir=args.pcap,
         metrics=args.metrics,
     )
-    selected = _family_selection(args) or list(args.tests)
+    selected = _cgn_selection(args, _family_selection(args), DEFAULT_BENCH_TESTS)
     try:
         results = runner.run(tests=selected)
     except ValueError as exc:
@@ -412,6 +452,8 @@ def cmd_bench(args, out) -> int:
                 "transfer_bytes": args.transfer_bytes,
                 "impairment": impairment.describe() if impairment is not None else None,
                 "faults": [fault.describe() for fault in faults],
+                "cgn_subscribers": args.subscribers,
+                "cgn_block_size": args.block_size,
             },
             "elapsed_wall_seconds": round(runner.last_elapsed, 3),
             "shard_errors": [
@@ -459,6 +501,17 @@ def cmd_compliance(args, out) -> int:
     return 0
 
 
+def _add_cgn_flags(parser: argparse.ArgumentParser) -> None:
+    """The NAT444 campaign flags shared by survey/report/bench."""
+    parser.add_argument("--cgn", action="store_true",
+                        help="run the NAT444 families (cgn_timeouts, cgn_exhaustion) "
+                        "behind a carrier-grade NAT; appends to --families if given")
+    parser.add_argument("--subscribers", type=int, default=8,
+                        help="home gateways behind each CGN (default: 8)")
+    parser.add_argument("--block-size", type=int, default=16, dest="block_size",
+                        help="external ports per CGN allocation block (default: 16)")
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """The flight-recorder flags shared by probe/survey/report/bench."""
     parser.add_argument("--trace", metavar="DIR",
@@ -487,7 +540,8 @@ def build_parser() -> argparse.ArgumentParser:
     probe.set_defaults(func=cmd_probe)
 
     survey = sub.add_parser("survey", help="run several families")
-    survey.add_argument("--tests", nargs="+", default=["udp1", "tcp1", "tcp4"], choices=PROBE_CHOICES)
+    survey.add_argument("--tests", nargs="+", default=None, choices=PROBE_CHOICES,
+                        help="families to run (default: udp1 tcp1 tcp4)")
     survey.add_argument("--families", metavar="F1,F2",
                         help=f"comma-joined campaign families ({','.join(FAMILY_CHOICES)}); "
                         "implies the durable campaign path")
@@ -500,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persist every (device, family) cell into a campaign store at DIR")
     survey.add_argument("--resume", action="store_true",
                         help="with --out: skip cells already in the store, run only the missing ones")
+    _add_cgn_flags(survey)
     _add_obs_flags(survey)
     survey.set_defaults(func=cmd_survey)
 
@@ -509,8 +564,8 @@ def build_parser() -> argparse.ArgumentParser:
     stun.set_defaults(func=cmd_classify)
 
     report = sub.add_parser("report", help="full markdown survey report")
-    report.add_argument("--tests", nargs="+", default=["udp1", "udp2", "udp3", "tcp1", "tcp4"],
-                        choices=FAMILY_CHOICES)
+    report.add_argument("--tests", nargs="+", default=None, choices=FAMILY_CHOICES,
+                        help="families to run (default: udp1 udp2 udp3 tcp1 tcp4)")
     report.add_argument("--families", metavar="F1,F2",
                         help=f"comma-joined campaign families ({','.join(FAMILY_CHOICES)})")
     report.add_argument("--from", dest="from_dir", metavar="DIR",
@@ -523,12 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--impair", help="link impairment, e.g. loss=0.01,reorder=5ms,dup=0.001")
     report.add_argument("--fault", action="append",
                         help="gateway fault, e.g. crash@t=30,boot=never,device=dl8 (repeatable)")
+    _add_cgn_flags(report)
     _add_obs_flags(report)
     report.set_defaults(func=cmd_report)
 
     bench = sub.add_parser("bench", help="time a campaign and dump perf counters")
-    bench.add_argument("--tests", nargs="+", default=["udp1", "tcp2"],
-                       choices=FAMILY_CHOICES)
+    bench.add_argument("--tests", nargs="+", default=None, choices=FAMILY_CHOICES,
+                       help="families to run (default: udp1 tcp2)")
     bench.add_argument("--families", metavar="F1,F2",
                        help=f"comma-joined campaign families ({','.join(FAMILY_CHOICES)})")
     bench.add_argument("--tags", nargs="*")
@@ -541,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--fault", action="append",
                        help="gateway fault, e.g. crash@t=30,boot=never,device=dl8 (repeatable)")
     bench.add_argument("--output", help="write BENCH_survey.json here")
+    _add_cgn_flags(bench)
     _add_obs_flags(bench)
     bench.set_defaults(func=cmd_bench)
 

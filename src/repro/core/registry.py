@@ -43,6 +43,7 @@ __all__ = [
     "family",
     "get",
     "runnable_names",
+    "default_names",
     "family_names",
     "derived_families",
     "report_sections",
@@ -59,6 +60,7 @@ FAMILY_MODULES = (
     "repro.core.icmp_tests",
     "repro.core.transport_support",
     "repro.core.dns_tests",
+    "repro.cgn.families",
 )
 
 
@@ -102,6 +104,15 @@ class ExperimentFamily:
     derived_from: Optional[str] = None
     #: Parent cell -> derived cell (e.g. ``analyze_port_behavior``).
     derive: Optional[Callable[[Any], Any]] = None
+    #: ``knobs -> build(profiles, seed)`` — families that measure something
+    #: other than the paper's Figure-1 topology (the CGN families run a
+    #: NAT444 chain) supply the builder for their own testbed here.  ``None``
+    #: = the standard single-tier :class:`~repro.testbed.testbed.Testbed`.
+    testbed_factory: Optional[Callable[[Mapping[str, Any]], Callable]] = None
+    #: Included when the caller selects no families explicitly.  The paper's
+    #: own menu stays the default; opt-in extensions (CGN) set ``False`` and
+    #: run only when named (or via ``--cgn``).
+    default_selected: bool = True
 
     @property
     def runnable(self) -> bool:
@@ -221,6 +232,11 @@ def get(name: str) -> Optional[ExperimentFamily]:
 def runnable_names() -> Tuple[str, ...]:
     """Names of the directly runnable families, in execution order."""
     return tuple(f.name for f in families() if f.runnable)
+
+
+def default_names() -> Tuple[str, ...]:
+    """Runnable families included when no explicit selection is given."""
+    return tuple(f.name for f in families() if f.runnable and f.default_selected)
 
 
 def family_names() -> Tuple[str, ...]:

@@ -52,7 +52,10 @@ __all__ = [
 ]
 
 #: Bump when the store layout or any family's cell encoding changes shape.
-SCHEMA_VERSION = 1
+#: v2: CGN knobs (``cgn_subscribers``/``cgn_block_size``) joined the
+#: campaign fingerprint and the ``cgn_timeouts``/``cgn_exhaustion`` cell
+#: codecs were added.
+SCHEMA_VERSION = 2
 
 
 class StoreError(RuntimeError):

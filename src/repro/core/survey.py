@@ -178,6 +178,8 @@ class SurveyRunner:
         udp5_repetitions: int = 1,
         tcp1_cutoff: float = 24 * 3600.0,
         transfer_bytes: int = 2 * 1024 * 1024,
+        cgn_subscribers: int = 8,
+        cgn_block_size: int = 16,
         jobs: int = 1,
         impairment: Optional[Impairment] = None,
         faults: Sequence[FaultSpec] = (),
@@ -199,6 +201,10 @@ class SurveyRunner:
         self.udp5_repetitions = udp5_repetitions
         self.tcp1_cutoff = tcp1_cutoff
         self.transfer_bytes = transfer_bytes
+        #: NAT444 population knobs (the ``cgn_*`` families): homes behind
+        #: each carrier-grade NAT, and external ports per allocated block.
+        self.cgn_subscribers = cgn_subscribers
+        self.cgn_block_size = cgn_block_size
         self.jobs = max(1, int(jobs))
         #: Link impairment applied to every family testbed (None = clean).
         self.impairment = impairment
@@ -234,6 +240,8 @@ class SurveyRunner:
             "udp5_repetitions": self.udp5_repetitions,
             "tcp1_cutoff": self.tcp1_cutoff,
             "transfer_bytes": self.transfer_bytes,
+            "cgn_subscribers": self.cgn_subscribers,
+            "cgn_block_size": self.cgn_block_size,
         }
 
     def fingerprint(self) -> str:
@@ -243,8 +251,14 @@ class SurveyRunner:
             self.profiles, self.seed, knobs, impairment=self.impairment, faults=self.faults
         )
 
-    def _fresh_testbed(self) -> Testbed:
-        bed = Testbed.build(self.profiles, seed=self.seed)
+    def _fresh_testbed(self, family: Optional[registry.ExperimentFamily] = None):
+        if family is not None and family.testbed_factory is not None:
+            # The family measures its own topology (e.g. the CGN families
+            # run a NAT444 chain); build it from the same (profiles, seed)
+            # contract so shard determinism carries over unchanged.
+            bed = family.testbed_factory(self._knobs())(self.profiles, self.seed)
+        else:
+            bed = Testbed.build(self.profiles, seed=self.seed)
         # Chaos goes in *after* bring-up: DHCP configuration stays clean, and
         # impairment/fault clocks are anchored at measurement start, so a
         # fault hits each family at the same virtual offset regardless of
@@ -261,6 +275,8 @@ class SurveyRunner:
             "udp5_repetitions": self.udp5_repetitions,
             "tcp1_cutoff": self.tcp1_cutoff,
             "transfer_bytes": self.transfer_bytes,
+            "cgn_subscribers": self.cgn_subscribers,
+            "cgn_block_size": self.cgn_block_size,
             "impairment": self.impairment,
             "faults": self.faults,
             "family_timeout": self.family_timeout,
@@ -274,7 +290,9 @@ class SurveyRunner:
     def _validate(self, tests: Optional[Sequence[str]]) -> List[str]:
         """Resolve the family selection, failing with the registered menu."""
         known = registry.runnable_names()
-        selected = list(tests if tests is not None else known)
+        # No explicit selection = the paper's own menu; opt-in families
+        # (``default_selected=False``, e.g. the CGN pair) must be named.
+        selected = list(tests if tests is not None else registry.default_names())
         unknown = [name for name in selected if name not in known]
         if unknown:
             raise ValueError(
@@ -394,8 +412,9 @@ class SurveyRunner:
             device = self.profiles[0].tag if len(self.profiles) == 1 else None
             observer = ShardObserver(self.obs, device=device)
 
-        def timed(family: str, probe_call) -> Dict:
-            bed = self._fresh_testbed()
+        def timed(descriptor: registry.ExperimentFamily, probe_call) -> Dict:
+            family = descriptor.name
+            bed = self._fresh_testbed(descriptor)
             if self.family_timeout is not None:
                 bed.sim.watchdog_limit = bed.sim.now + self.family_timeout
             # The observer attaches *after* bring-up: DHCP chatter stays out
@@ -431,7 +450,7 @@ class SurveyRunner:
             for family in registry.families():
                 if not family.runnable or family.name not in selected:
                     continue
-                mapping = timed(family.name, family.probe_factory(self._knobs()))
+                mapping = timed(family, family.probe_factory(self._knobs()))
                 results.set_family(family.name, mapping)
                 persist(family, mapping)
                 for derived in registry.derived_families(family.name):

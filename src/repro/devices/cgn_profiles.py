@@ -1,0 +1,169 @@
+"""Carrier-grade NAT policy profiles.
+
+A :class:`CgnPolicy` is to a :class:`~repro.cgn.node.CgnNode` what a
+:class:`~repro.devices.profile.DeviceProfile` is to a home gateway — the
+complete policy description of the shared NAT tier an ISP puts in front of
+a subscriber population (NAT444; Richter et al.).  The defining differences
+from CPE policy:
+
+* External ports are handed out in per-subscriber *blocks* (the logging/
+  abuse-attribution scheme real CGNs use), so exhaustion is a property of
+  the shared pool and the per-subscriber quota, not of a session table.
+* A CGN never preserves the client's source port and never re-uses a
+  just-expired binding for the same flow — ports belong to blocks, blocks
+  belong to subscribers, and both churn.
+* Timeouts are provisioned independently from whatever the homes behind it
+  run, which is why the *effective* end-to-end binding lifetime of a
+  NAT444 chain is an emergent minimum the ``cgn_timeouts`` family has to
+  rediscover by probing.
+
+The translation into the simulator happens in :func:`cgn_device_profile`,
+which renders a policy as a :class:`DeviceProfile` the existing gateway
+machinery can run; the block allocator itself is installed by
+:class:`~repro.cgn.node.CgnNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.profile import (
+    DeviceProfile,
+    DnsProxyPolicy,
+    FallbackBehavior,
+    FilteringBehavior,
+    ForwardingPolicy,
+    MappingBehavior,
+    NatPolicy,
+    PortAllocation,
+    TcpTimeoutPolicy,
+    UdpTimeoutPolicy,
+)
+
+__all__ = ["CgnPolicy", "cgn_device_profile"]
+
+
+@dataclass(frozen=True)
+class CgnPolicy:
+    """Operator-facing knobs of one carrier-grade NAT.
+
+    Frozen so a policy can ride inside shard configs and campaign
+    fingerprints without defensive copying.
+    """
+
+    #: External ports per allocated block (RFC 6888's port-block logging
+    #: unit; deployments run 64–2048).
+    block_size: int = 64
+    #: Blocks one subscriber may hold concurrently (the per-subscriber
+    #: quota; exceeding it drops new flows with ``port_exhausted``).
+    blocks_per_subscriber: int = 4
+    #: Total external ports in the shared pool, carved into
+    #: ``pool_ports // block_size`` blocks starting at
+    #: :attr:`first_external_port`.
+    pool_ports: int = 4096
+    #: How a subscriber's *first* block is picked: ``"paired"`` hashes the
+    #: subscriber's internal address (stable, RNG-free — RFC 4787 "paired"
+    #: pooling), ``"random"`` draws from the simulation RNG.
+    pooling: str = "paired"
+    first_external_port: int = 1024
+    #: CGN-tier UDP binding idle timeout, seconds (one state: provisioned
+    #: CGNs do not track the CPE-style traffic-pattern state machine).
+    udp_timeout: float = 120.0
+    #: CGN-tier TCP established / transitory idle timeouts, seconds.
+    tcp_established_timeout: float = 2400.0
+    tcp_transitory_timeout: float = 240.0
+    #: Binding timers tick on a coarse wheel of this many seconds (0 = exact).
+    timer_granularity: float = 0.0
+    mapping: MappingBehavior = MappingBehavior.ENDPOINT_INDEPENDENT
+    filtering: FilteringBehavior = FilteringBehavior.ADDRESS_DEPENDENT
+    #: Whether the CGN loops subscriber-to-subscriber traffic addressed to
+    #: its own external IP back down (off by default, as deployed CGNs are;
+    #: the traversal tests flip it to show what it buys).
+    hairpinning: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.blocks_per_subscriber <= 0:
+            raise ValueError("blocks_per_subscriber must be positive")
+        if self.pool_ports <= 0 or self.pool_ports % self.block_size:
+            raise ValueError(
+                f"pool_ports ({self.pool_ports}) must be a positive multiple "
+                f"of block_size ({self.block_size})"
+            )
+        if self.first_external_port + self.pool_ports > 65536:
+            raise ValueError(
+                f"pool [{self.first_external_port}, "
+                f"{self.first_external_port + self.pool_ports}) exceeds the port space"
+            )
+        if self.pooling not in ("paired", "random"):
+            raise ValueError(f"pooling must be 'paired' or 'random', not {self.pooling!r}")
+
+    @property
+    def block_count(self) -> int:
+        return self.pool_ports // self.block_size
+
+    def describe(self) -> dict:
+        """JSON-ready description (campaign metadata and fingerprints)."""
+        return {
+            "block_size": self.block_size,
+            "blocks_per_subscriber": self.blocks_per_subscriber,
+            "pool_ports": self.pool_ports,
+            "pooling": self.pooling,
+            "first_external_port": self.first_external_port,
+            "udp_timeout": self.udp_timeout,
+            "tcp_established_timeout": self.tcp_established_timeout,
+            "tcp_transitory_timeout": self.tcp_transitory_timeout,
+            "mapping": self.mapping.value,
+            "filtering": self.filtering.value,
+            "hairpinning": self.hairpinning,
+        }
+
+
+def cgn_device_profile(policy: CgnPolicy, tag: str = "cgn") -> DeviceProfile:
+    """Render a CGN policy as a :class:`DeviceProfile` the gateway runs.
+
+    The rendering deliberately removes every CPE-ism: no port preservation,
+    no expired-binding reuse, session-table limits pushed out of the way
+    (so the *port pool* — the thing a CGN actually exhausts — is always the
+    binding constraint), and carrier-class forwarding capacity so the CGN
+    never becomes the throughput bottleneck in front of 100 Mb/s homes.
+    """
+    return DeviceProfile(
+        tag=tag,
+        vendor="carrier",
+        model="cgn",
+        firmware="nat444",
+        udp_timeouts=UdpTimeoutPolicy(
+            outbound_only=policy.udp_timeout,
+            after_inbound=policy.udp_timeout,
+            bidirectional=policy.udp_timeout,
+            timer_granularity=policy.timer_granularity,
+        ),
+        tcp_timeouts=TcpTimeoutPolicy(
+            established=policy.tcp_established_timeout,
+            transitory=policy.tcp_transitory_timeout,
+            timer_granularity=policy.timer_granularity,
+        ),
+        nat=NatPolicy(
+            port_preservation=False,
+            reuse_expired_binding=False,
+            reuse_holddown=0.0,
+            port_allocation=PortAllocation.SEQUENTIAL,
+            first_external_port=policy.first_external_port,
+            mapping=policy.mapping,
+            filtering=policy.filtering,
+            # The pool, not the session table, must be the binding limit.
+            max_tcp_bindings=65536,
+            max_udp_bindings=65536,
+            hairpinning=policy.hairpinning,
+        ),
+        forwarding=ForwardingPolicy(
+            up_rate_bps=1e9,
+            down_rate_bps=1e9,
+            buffer_bytes=4 * 1024 * 1024,
+            base_delay=0.0001,
+        ),
+        fallback=FallbackBehavior.DROP,
+        dns_proxy=DnsProxyPolicy(proxy_udp=True, accepts_tcp=True, responds_tcp=True),
+    )

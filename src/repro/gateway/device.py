@@ -327,7 +327,9 @@ class HomeGateway(Host):
         )
         if binding is None:
             self.dropped_no_binding += 1
-            self._trace_drop("no_binding")
+            # The engine says precisely *why* it refused (table_full,
+            # rate_limited, port_exhausted); attribute the drop to that.
+            self._trace_drop(self.nat.last_refusal or "no_binding")
             return
         rewrite_source(packet, self.wan_ip, binding.ext_port)
         self.nat.note_outbound(binding)
@@ -379,7 +381,7 @@ class HomeGateway(Host):
         )
         if out_binding is None:
             self.dropped_no_binding += 1
-            self._trace_drop("no_binding")
+            self._trace_drop(self.nat.last_refusal or "no_binding")
             return
         hairpinned = clone_packet(packet)
         rewrite_source(hairpinned, self.wan_ip, out_binding.ext_port)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from ipaddress import IPv4Address
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.devices.profile import (
     DeviceProfile,
@@ -41,6 +41,18 @@ TCP_ESTABLISHED = "established"
 TCP_CLOSING = "closing"
 
 Endpoint = Tuple[IPv4Address, int]
+
+
+class PortExhaustedError(RuntimeError):
+    """No free external port satisfies this allocation.
+
+    Raised by the allocation paths (:meth:`NatEngine._allocate_sequential`
+    and any installed :attr:`NatEngine.allocator`) when the port pool is
+    genuinely out of candidates.  :meth:`NatEngine.lookup_or_create` turns
+    it into a deterministic refusal — the packet that would have opened the
+    binding is dropped with cause ``port_exhausted`` — instead of letting it
+    escape and kill the whole shard.
+    """
 
 
 class Binding:
@@ -117,9 +129,20 @@ class NatEngine:
         self.bindings_refused = 0
         self.bindings_flushed = 0
         self.inbound_filtered = 0
+        self.bindings_port_exhausted = 0
+        #: Cause of the most recent :meth:`lookup_or_create` refusal
+        #: (``"table_full"``, ``"rate_limited"``, ``"port_exhausted"``), or
+        #: ``None`` when the last call succeeded.  The gateway's drop path
+        #: reads this to attribute the packet loss precisely.
+        self.last_refusal: Optional[str] = None
         #: Optional hook: ports the gateway's own services own and the NAT
         #: must never hand out (e.g. the DNS proxy's upstream sockets).
         self.port_reserved: Optional[Callable[[str, int], bool]] = None
+        #: Optional pluggable port allocator (duck-typed: ``allocate(proto,
+        #: int_ip, int_port, remote) -> port``, ``release(proto, ext_port)``,
+        #: ``reset()``).  When set it owns port selection entirely — the CGN
+        #: tier installs a per-subscriber block allocator here.
+        self.allocator: Optional[Any] = None
         # Session-table setup-rate limiter (§5 future work: binding rate).
         self._rate_bucket = None
         if profile.nat.max_binding_rate is not None:
@@ -159,14 +182,22 @@ class NatEngine:
         return True
 
     def _allocate_sequential(self, proto: str) -> int:
-        for _ in range(65536):
+        # Scan exactly one full wrap of the pool [first_external_port, 65535]:
+        # after that every candidate has been visited once, so the pool is
+        # provably exhausted and the allocation fails deterministically
+        # (instead of re-scanning ports it already rejected).
+        pool_size = 65536 - self.profile.nat.first_external_port
+        for _ in range(pool_size):
             port = self._next_port[proto]
             self._next_port[proto] += 1
             if self._next_port[proto] > 65535:
                 self._next_port[proto] = self.profile.nat.first_external_port
             if self._port_free(proto, port):
                 return port
-        raise RuntimeError("NAT external port space exhausted")
+        raise PortExhaustedError(
+            f"{self.profile.tag}: no free external {proto} port in "
+            f"[{self.profile.nat.first_external_port}, 65535]"
+        )
 
     def _allocate_random(self, proto: str) -> int:
         low = self.profile.nat.first_external_port
@@ -177,6 +208,11 @@ class NatEngine:
         return self._allocate_sequential(proto)
 
     def _choose_external_port(self, proto: str, int_ip: IPv4Address, int_port: int, remote: Endpoint) -> int:
+        if self.allocator is not None:
+            # A pooled allocator owns the whole decision: preservation and
+            # hold-down reuse are per-subscriber policies it implements (or
+            # deliberately doesn't — a CGN never preserves client ports).
+            return self.allocator.allocate(proto, int_ip, int_port, remote)
         nat = self.profile.nat
         flow = (proto, int_ip, int_port, remote[0], remote[1])
         history = self._expired.get(flow)
@@ -213,6 +249,7 @@ class NatEngine:
         remote: Endpoint,
     ) -> Optional[Binding]:
         """Outbound packet path: find the flow's binding or create one."""
+        self.last_refusal = None
         key = self._mapping_key(proto, int_ip, int_port, remote)
         binding = self._by_mapping.get(key)
         if binding is not None:
@@ -221,6 +258,7 @@ class NatEngine:
         bus = self.sim.bus
         if self.binding_count(proto) >= self._max_bindings(proto):
             self.bindings_refused += 1
+            self.last_refusal = "table_full"
             if bus is not None:
                 bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause="table_full")
             return None
@@ -228,10 +266,21 @@ class NatEngine:
             # Session-table CPU saturated: the packet that would have opened
             # the binding is dropped (clients retry and usually succeed).
             self.bindings_rate_refused += 1
+            self.last_refusal = "rate_limited"
             if bus is not None:
                 bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause="rate_limited")
             return None
-        ext_port = self._choose_external_port(proto, int_ip, int_port, remote)
+        try:
+            ext_port = self._choose_external_port(proto, int_ip, int_port, remote)
+        except PortExhaustedError:
+            # Deterministic drop-with-cause: an exhausted pool refuses the
+            # binding the same way a full session table does, rather than
+            # blowing up the shard that happened to send one packet too many.
+            self.bindings_port_exhausted += 1
+            self.last_refusal = "port_exhausted"
+            if bus is not None:
+                bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause="port_exhausted")
+            return None
         binding = Binding(proto, int_ip, int_port, ext_port, remote)
         binding.created_at = self.sim.now
         binding.last_activity = self.sim.now
@@ -279,6 +328,8 @@ class NatEngine:
             return
         self._by_external.pop((binding.proto, binding.ext_port), None)
         self._used_ports[binding.proto].discard(binding.ext_port)
+        if self.allocator is not None:
+            self.allocator.release(binding.proto, binding.ext_port)
         if binding.timer is not None:
             binding.timer.cancel()
         flow = (binding.proto, binding.int_ip, binding.int_port, binding.remote[0], binding.remote[1])
@@ -302,6 +353,8 @@ class NatEngine:
         self._by_external.clear()
         self._used_ports["udp"].clear()
         self._used_ports["tcp"].clear()
+        if self.allocator is not None:
+            self.allocator.reset()
         self._expired.clear()
         self._echo_out.clear()
         self._echo_in.clear()

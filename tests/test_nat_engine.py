@@ -17,6 +17,7 @@ from repro.gateway.nat import (
     STATE_BIDIRECTIONAL,
     STATE_OUTBOUND_ONLY,
     NatEngine,
+    PortExhaustedError,
 )
 from repro.netsim import Simulation
 from tests.conftest import make_profile
@@ -175,6 +176,63 @@ class TestPortPolicy:
         nat.port_reserved = lambda proto, port: port == 5000
         binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
         assert binding.ext_port != 5000
+
+
+class TestPortExhaustion:
+    """The sequential allocator must fail deterministically, not wrap forever.
+
+    Regression: the scan used to restart from ``first_external_port`` without
+    bounding the number of candidates visited, so a full pool re-examined
+    ports it had already rejected instead of refusing the binding.
+    """
+
+    def _tiny_pool(self, sim):
+        # Exactly two allocatable ports: 65534 and 65535.
+        return engine(
+            sim,
+            nat=NatPolicy(
+                port_preservation=False,
+                reuse_expired_binding=False,
+                first_external_port=65534,
+            ),
+        )
+
+    def test_allocate_sequential_raises_after_one_full_wrap(self, sim):
+        nat = self._tiny_pool(sim)
+        assert nat._allocate_sequential("udp") == 65534
+        assert nat._allocate_sequential("udp") == 65535
+        # Mark both busy the way real bindings would.
+        nat._used_ports["udp"].update({65534, 65535})
+        with pytest.raises(PortExhaustedError, match=r"\[65534, 65535\]"):
+            nat._allocate_sequential("udp")
+
+    def test_exhaustion_is_a_refusal_not_a_crash(self, sim):
+        nat = self._tiny_pool(sim)
+        assert nat.lookup_or_create("udp", CLIENT, 5000, REMOTE) is not None
+        assert nat.lookup_or_create("udp", CLIENT, 5001, REMOTE) is not None
+        refused = nat.lookup_or_create("udp", CLIENT, 5002, REMOTE)
+        assert refused is None
+        assert nat.bindings_port_exhausted == 1
+        assert nat.last_refusal == "port_exhausted"
+        # A successful lookup clears the diagnostic.
+        assert nat.lookup_or_create("udp", CLIENT, 5000, REMOTE) is not None
+        assert nat.last_refusal is None
+
+    def test_freed_port_is_reusable(self, sim):
+        nat = self._tiny_pool(sim)
+        first = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.lookup_or_create("udp", CLIENT, 5001, REMOTE)
+        nat.remove_binding(first)
+        fresh = nat.lookup_or_create("udp", CLIENT, 5002, REMOTE)
+        assert fresh is not None
+        assert fresh.ext_port == first.ext_port
+
+    def test_exhaustion_is_per_protocol(self, sim):
+        nat = self._tiny_pool(sim)
+        nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.lookup_or_create("udp", CLIENT, 5001, REMOTE)
+        assert nat.lookup_or_create("udp", CLIENT, 5002, REMOTE) is None
+        assert nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE) is not None
 
 
 class TestMappingBehavior:

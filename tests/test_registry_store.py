@@ -57,9 +57,17 @@ class TestRegistry:
     def test_every_paper_family_registered(self):
         assert registry.runnable_names() == (
             "udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4",
-            "icmp", "transports", "dns",
+            "icmp", "transports", "dns", "cgn_timeouts", "cgn_exhaustion",
         )
         assert "udp4" in registry.family_names()
+
+    def test_default_selection_is_the_paper_menu(self):
+        # The CGN families are opt-in (``--cgn``): running a survey without
+        # an explicit selection must reproduce exactly the paper's tests.
+        assert registry.default_names() == (
+            "udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4",
+            "icmp", "transports", "dns",
+        )
 
     def test_derived_family_links_to_parent(self):
         udp4 = registry.family("udp4")
@@ -147,6 +155,28 @@ class TestStoreBasics:
         with pytest.raises(IncompatibleStoreError, match="schema_version"):
             CampaignStore.open(tmp_path)
         del store
+
+    def test_older_schema_version_refused(self, tmp_path):
+        # A store written by a previous build (schema v1, before the CGN
+        # knobs entered the fingerprint) must refuse with a clear error,
+        # both at the manifest and at the individual-cell level.
+        store = CampaignStore.create_or_open(tmp_path, "aaaa")
+        store.save_cell("dev", "udp1", {"x": 1})
+        manifest = tmp_path / CampaignStore.MANIFEST
+        data = json.loads(manifest.read_text())
+        data["schema_version"] = SCHEMA_VERSION - 1
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(IncompatibleStoreError,
+                           match=f"schema_version={SCHEMA_VERSION - 1}.*reads {SCHEMA_VERSION}"):
+            CampaignStore.open(tmp_path)
+        # An individually stale cell is caught even under a current manifest.
+        cell_path = store.cell_path("dev", "udp1")
+        blob = json.loads(cell_path.read_text())
+        blob["schema_version"] = SCHEMA_VERSION - 1
+        cell_path.write_text(json.dumps(blob))
+        with pytest.raises(IncompatibleStoreError,
+                           match=f"schema_version={SCHEMA_VERSION - 1}, expected {SCHEMA_VERSION}"):
+            store.load_cell("dev", "udp1")
 
     def test_cells_stamped_and_validated(self, tmp_path):
         store = CampaignStore.create_or_open(tmp_path, "aaaa")
