@@ -57,6 +57,9 @@ def test_tcp_transfer_event_rate(benchmark):
         "config_hash": campaign_fingerprint([profile], 0, {"transfer_bytes": TRANSFER_BYTES}),
         "transfer_bytes": TRANSFER_BYTES,
         "events_processed": sim.events_processed,
+        "segments_modeled": sim.segments_modeled,
+        "fastpath_events_saved": sim.fastpath_events_saved,
+        "fastpath_windows": sim.fastpath_windows,
         "wall_seconds_mean": wall,
         "events_per_sec": sim.events_processed / wall if wall > 0 else 0.0,
         "stale_purges": sim.stale_purges,

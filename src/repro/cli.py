@@ -81,8 +81,8 @@ def _resolve_tags(tags: Optional[Sequence[str]]) -> List[str]:
     return list(tags)
 
 
-def _build_bed(tags: Sequence[str], seed: int) -> Testbed:
-    return Testbed.build(catalog_profiles(tags), seed=seed)
+def _build_bed(tags: Sequence[str], seed: int, fastpath: bool = True) -> Testbed:
+    return Testbed.build(catalog_profiles(tags), seed=seed, fastpath=fastpath)
 
 
 def _parse_chaos(args):
@@ -151,8 +151,9 @@ def _run_probe(
     seed: int,
     out,
     observer: Optional[ShardObserver] = None,
+    fastpath: bool = True,
 ) -> Optional[DeviceSeries]:
-    bed = _build_bed(tags, seed)
+    bed = _build_bed(tags, seed, fastpath=fastpath)
     if observer is None:
         return _dispatch_probe(name, bed, repetitions, out)
     # Flight recorder on: trace the family like a survey shard would.
@@ -252,7 +253,8 @@ def cmd_probe(args, out) -> int:
     obs = _obs_config(args)
     observer = ShardObserver(obs) if obs.enabled else None
     try:
-        _run_probe(args.test, tags, args.repetitions, args.seed, out, observer=observer)
+        _run_probe(args.test, tags, args.repetitions, args.seed, out, observer=observer,
+                   fastpath=not args.no_fastpath)
     finally:
         if observer is not None:
             observer.close()
@@ -272,7 +274,8 @@ def cmd_survey(args, out) -> int:
     try:
         for name in args.tests or DEFAULT_SURVEY_TESTS:
             out(f"\n=== {name} ===")
-            series = _run_probe(name, tags, args.repetitions, args.seed, out, observer=observer)
+            series = _run_probe(name, tags, args.repetitions, args.seed, out, observer=observer,
+                                fastpath=not args.no_fastpath)
             if series is not None and csv_dir:
                 (csv_dir / f"{name}.csv").write_text(series_to_csv(series) + "\n")
                 out(f"[wrote {csv_dir / f'{name}.csv'}]")
@@ -297,6 +300,7 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
         cgn_subscribers=args.subscribers,
         cgn_block_size=args.block_size,
         jobs=args.jobs,
+        fastpath=not args.no_fastpath,
         trace_dir=args.trace,
         pcap_dir=args.pcap,
         metrics=args.metrics,
@@ -373,6 +377,7 @@ def cmd_report(args, out) -> int:
         cgn_subscribers=args.subscribers,
         cgn_block_size=args.block_size,
         jobs=args.jobs,
+        fastpath=not args.no_fastpath,
         impairment=impairment,
         faults=faults,
         trace_dir=args.trace,
@@ -414,6 +419,7 @@ def cmd_bench(args, out) -> int:
         cgn_subscribers=args.subscribers,
         cgn_block_size=args.block_size,
         jobs=args.jobs,
+        fastpath=not args.no_fastpath,
         impairment=impairment,
         faults=faults,
         trace_dir=args.trace,
@@ -431,11 +437,15 @@ def cmd_bench(args, out) -> int:
         out(f"impairment: {args.impair or 'none'}   faults: {', '.join(args.fault or []) or 'none'}")
     out(f"elapsed: {runner.last_elapsed:.2f}s wall   {stats.wall_seconds:.2f}s cpu (shard sum)")
     out(f"events: {stats.events_processed}   events/sec (cpu): {stats.events_per_sec:.0f}")
+    out(f"segments modeled: {stats.segments_modeled}   "
+        f"fastpath saved: {stats.fastpath_events_saved} events "
+        f"in {stats.fastpath_windows} windows")
     out(f"stale-entry purges: {stats.stale_purges} ({stats.stale_entries_purged} entries)")
     for family in selected:
         wall = stats.family_wall.get(family, 0.0)
         events = stats.family_events.get(family, 0)
-        out(f"  {family:>10}  {wall:8.2f}s  {events:>9} events")
+        segments = stats.family_segments.get(family, 0)
+        out(f"  {family:>10}  {wall:8.2f}s  {events:>9} events  {segments:>9} segments")
     _report_errors(results, out)
     if args.output:
         from repro.core.store import SCHEMA_VERSION
@@ -454,6 +464,7 @@ def cmd_bench(args, out) -> int:
                 "faults": [fault.describe() for fault in faults],
                 "cgn_subscribers": args.subscribers,
                 "cgn_block_size": args.block_size,
+                "fastpath": not args.no_fastpath,
             },
             "elapsed_wall_seconds": round(runner.last_elapsed, 3),
             "shard_errors": [
@@ -466,7 +477,41 @@ def cmd_bench(args, out) -> int:
             payload["metrics"] = results.metrics.as_dict()
         write_bench_json(args.output, payload)
         out(f"wrote {args.output}")
+        history = _append_bench_history(pathlib.Path(args.output), runner, stats)
+        if history is not None:
+            out(f"appended {history}")
     return 0
+
+
+def _append_bench_history(output: pathlib.Path, runner, stats) -> Optional[pathlib.Path]:
+    """Append one trajectory point to ``BENCH_history.json`` next to the dump.
+
+    The ``pr`` field counts the entries in the repo's ``CHANGES.md`` (one
+    line per merged PR), looked up from the output file upwards; it is
+    ``None`` when no changelog is in sight (e.g. dumps into /tmp).
+    """
+    history_path = output.resolve().parent / "BENCH_history.json"
+    pr = None
+    for ancestor in [output.resolve().parent, *output.resolve().parents]:
+        changelog = ancestor / "CHANGES.md"
+        if changelog.is_file():
+            pr = sum(1 for line in changelog.read_text().splitlines() if line.startswith("- PR"))
+            break
+    entry = {
+        "pr": pr,
+        "config_hash": runner.fingerprint(),
+        "events_per_sec": round(stats.events_per_sec, 1),
+        "family_wall": {k: round(v, 6) for k, v in sorted(stats.family_wall.items())},
+    }
+    try:
+        history = json.loads(history_path.read_text()) if history_path.is_file() else []
+        if not isinstance(history, list):
+            return None
+    except (OSError, ValueError):
+        return None
+    history.append(entry)
+    history_path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return history_path
 
 
 def cmd_trace(args, out) -> int:
@@ -520,6 +565,10 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="write per-link pcap captures into DIR (open in Wireshark)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect campaign counters/gauges/histograms")
+    parser.add_argument("--no-fastpath", action="store_true", dest="no_fastpath",
+                        help="run every simulation on the staged event engine "
+                        "(the fast path's property-test oracle); results are "
+                        "identical, wall-clock is not")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -21,6 +21,12 @@ class SimStats:
 
     #: Simulator events processed, summed over every testbed the run built.
     events_processed: int = 0
+    #: Heap events the fast path elided (serialization-done dispatches,
+    #: deferred timer re-arms).  ``events_processed + fastpath_events_saved``
+    #: is the engine-independent measure of work modeled.
+    fastpath_events_saved: int = 0
+    #: Idle→busy transitions of the eager kernels (analytic service windows).
+    fastpath_windows: int = 0
     #: Wall-clock seconds spent inside the measurement families.
     wall_seconds: float = 0.0
     #: Heap compaction passes run by the schedulers.
@@ -31,6 +37,12 @@ class SimStats:
     family_wall: Dict[str, float] = field(default_factory=dict)
     #: Simulator events per experiment family.
     family_events: Dict[str, int] = field(default_factory=dict)
+    #: Work modeled per family: events processed + events elided by the fast
+    #: path.  Comparable across engines (unlike ``family_events``, which
+    #: collapses under the fast path); small residual differences remain
+    #: because the staged engine's heap compaction purges stale timer
+    #: entries that are never processed.
+    family_segments: Dict[str, int] = field(default_factory=dict)
     #: Worker processes that executed shards (1 == serial).
     jobs: int = 1
 
@@ -41,10 +53,20 @@ class SimStats:
             return 0.0
         return self.events_processed / self.wall_seconds
 
-    def note_family(self, family: str, wall: float, events: int) -> None:
+    @property
+    def segments_modeled(self) -> int:
+        """Total work modeled, independent of which engine executed it."""
+        return self.events_processed + self.fastpath_events_saved
+
+    def note_family(
+        self, family: str, wall: float, events: int, saved: int = 0, windows: int = 0
+    ) -> None:
         self.family_wall[family] = self.family_wall.get(family, 0.0) + wall
         self.family_events[family] = self.family_events.get(family, 0) + events
+        self.family_segments[family] = self.family_segments.get(family, 0) + events + saved
         self.events_processed += events
+        self.fastpath_events_saved += saved
+        self.fastpath_windows += windows
 
     def merge(self, other: "SimStats") -> None:
         """Fold a shard's counters into this aggregate.
@@ -54,6 +76,8 @@ class SimStats:
         time separately in the bench dump).
         """
         self.events_processed += other.events_processed
+        self.fastpath_events_saved += other.fastpath_events_saved
+        self.fastpath_windows += other.fastpath_windows
         self.wall_seconds += other.wall_seconds
         self.stale_purges += other.stale_purges
         self.stale_entries_purged += other.stale_entries_purged
@@ -61,16 +85,22 @@ class SimStats:
             self.family_wall[family] = self.family_wall.get(family, 0.0) + wall
         for family, events in other.family_events.items():
             self.family_events[family] = self.family_events.get(family, 0) + events
+        for family, segments in other.family_segments.items():
+            self.family_segments[family] = self.family_segments.get(family, 0) + segments
 
     def as_dict(self) -> Dict:
         return {
             "events_processed": self.events_processed,
+            "segments_modeled": self.segments_modeled,
+            "fastpath_events_saved": self.fastpath_events_saved,
+            "fastpath_windows": self.fastpath_windows,
             "wall_seconds": round(self.wall_seconds, 6),
             "events_per_sec": round(self.events_per_sec, 1),
             "stale_purges": self.stale_purges,
             "stale_entries_purged": self.stale_entries_purged,
             "family_wall": {k: round(v, 6) for k, v in self.family_wall.items()},
             "family_events": dict(self.family_events),
+            "family_segments": dict(self.family_segments),
             "jobs": self.jobs,
         }
 

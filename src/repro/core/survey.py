@@ -181,6 +181,7 @@ class SurveyRunner:
         cgn_subscribers: int = 8,
         cgn_block_size: int = 16,
         jobs: int = 1,
+        fastpath: bool = True,
         impairment: Optional[Impairment] = None,
         faults: Sequence[FaultSpec] = (),
         shard_retries: int = 1,
@@ -206,6 +207,12 @@ class SurveyRunner:
         self.cgn_subscribers = cgn_subscribers
         self.cgn_block_size = cgn_block_size
         self.jobs = max(1, int(jobs))
+        #: Run the eager event-elision kernels (``--no-fastpath`` clears it).
+        #: Results are engine-independent by construction, so this knob is
+        #: deliberately *not* part of the campaign fingerprint: cells written
+        #: by either engine are interchangeable, and property tests hold the
+        #: two engines to byte-identical store cells.
+        self.fastpath = bool(fastpath)
         #: Link impairment applied to every family testbed (None = clean).
         self.impairment = impairment
         #: Gateway faults scheduled on every family testbed, post bring-up.
@@ -252,13 +259,17 @@ class SurveyRunner:
         )
 
     def _fresh_testbed(self, family: Optional[registry.ExperimentFamily] = None):
+        fastpath = self.fastpath and not self.faults
         if family is not None and family.testbed_factory is not None:
             # The family measures its own topology (e.g. the CGN families
             # run a NAT444 chain); build it from the same (profiles, seed)
-            # contract so shard determinism carries over unchanged.
+            # contract so shard determinism carries over unchanged.  The
+            # factory contract predates the engine flag, so it lands on the
+            # built bed below (bring-up there runs eager; harmless, since the
+            # engines are byte-identical and bring-up settles before chaos).
             bed = family.testbed_factory(self._knobs())(self.profiles, self.seed)
         else:
-            bed = Testbed.build(self.profiles, seed=self.seed)
+            bed = Testbed.build(self.profiles, seed=self.seed, fastpath=fastpath)
         # Chaos goes in *after* bring-up: DHCP configuration stays clean, and
         # impairment/fault clocks are anchored at measurement start, so a
         # fault hits each family at the same virtual offset regardless of
@@ -267,6 +278,12 @@ class SurveyRunner:
             bed.apply_impairment(self.impairment)
         if self.faults:
             bed.schedule_faults(self.faults)
+        # Fault campaigns run the staged engine throughout: a crash flush
+        # must see every queued packet as a heap-visible entity to drop it
+        # the way the paper's power-cycled gateways do (the eager kernels
+        # have already consumed rate tokens for admitted packets and cannot
+        # un-consume them).
+        bed.sim.fastpath = fastpath
         return bed
 
     def _shard_config(self) -> Dict:
@@ -277,6 +294,7 @@ class SurveyRunner:
             "transfer_bytes": self.transfer_bytes,
             "cgn_subscribers": self.cgn_subscribers,
             "cgn_block_size": self.cgn_block_size,
+            "fastpath": self.fastpath,
             "impairment": self.impairment,
             "faults": self.faults,
             "family_timeout": self.family_timeout,
@@ -432,7 +450,13 @@ class SurveyRunner:
                 raise ShardFailure(tag, family, type(exc).__name__, str(exc)) from exc
             finally:
                 wall = time.perf_counter() - started
-                stats.note_family(family, wall, bed.sim.events_processed)
+                stats.note_family(
+                    family,
+                    wall,
+                    bed.sim.events_processed,
+                    saved=bed.sim.fastpath_events_saved,
+                    windows=bed.sim.fastpath_windows,
+                )
                 stats.wall_seconds += wall
                 stats.stale_purges += bed.sim.stale_purges
                 stats.stale_entries_purged += bed.sim.stale_entries_purged

@@ -49,6 +49,8 @@ from repro.packets.udp import UdpDatagram
 from repro.protocols.dhcp import DhcpClientService, DhcpServerService
 from repro.protocols.stack import LIMITED_BROADCAST, Host
 
+_UNSPECIFIED = IPv4Address("0.0.0.0")
+
 WAN_IFACE = 0
 LAN_IFACE = 1
 
@@ -234,7 +236,8 @@ class HomeGateway(Host):
             return
         if frame.ethertype != ETHERTYPE_IPV4:
             return
-        if frame.dst != iface.mac and not frame.dst.is_broadcast and not frame.dst.is_multicast:
+        dst_mac = frame.dst._value  # inlined is_broadcast/is_multicast checks
+        if dst_mac != iface.mac._value and dst_mac != 0xFFFFFFFFFFFF and not (dst_mac >> 40) & 1:
             return
         packet = frame.payload
         if not isinstance(packet, IPv4Packet):
@@ -248,8 +251,8 @@ class HomeGateway(Host):
                 proto=packet.protocol,
                 size=packet.wire_size(),
             )
-        if packet.src != IPv4Address("0.0.0.0"):
-            self.neighbors[(iface.index, packet.src)] = frame.src
+        if packet.src != _UNSPECIFIED:
+            self.neighbors[(iface.index, packet.src._ip)] = frame.src
         if iface.index == LAN_IFACE:
             self._from_lan(packet, iface)
         else:
@@ -297,9 +300,12 @@ class HomeGateway(Host):
                 from repro.packets.tcp import TCPOPT_MSS
 
                 segment.options = [opt for opt in segment.options if opt.kind == TCPOPT_MSS]
-                # Stripping options changed the segment, so the checksum must
-                # be recomputed here — the NAT rewrite downstream only applies
-                # an incremental address/port update to a consistent base.
+                # Stripping options resizes the segment: drop the cached wire
+                # sizes, and recompute the checksum here — the NAT rewrite
+                # downstream only applies an incremental address/port update
+                # to a consistent base.
+                segment._wire = None
+                packet._wire = None
                 segment.fill_checksum(packet.src, packet.dst)
         refresh_ip_checksum(packet)
         return True
@@ -398,7 +404,7 @@ class HomeGateway(Host):
             self.deliver_local(packet, iface)
             return
         if self.wan_ip is None or dst != self.wan_ip:
-            if iface.ip is None and dst != IPv4Address("0.0.0.0"):
+            if iface.ip is None and dst != _UNSPECIFIED:
                 # DHCP unicast during WAN configuration.
                 self.deliver_local(packet, iface)
             elif self._generic_inbound(packet):
@@ -498,7 +504,7 @@ class HomeGateway(Host):
         next_hop = packet.dst
         if iface.network is None or packet.dst not in iface.network:
             next_hop = iface.gateway_ip or packet.dst
-        mac = self.neighbors.get((WAN_IFACE, next_hop), BROADCAST_MAC)
+        mac = self.neighbors.get((WAN_IFACE, next_hop._ip), BROADCAST_MAC)
         iface.transmit(EthernetFrame(mac, iface.mac, packet, ETHERTYPE_IPV4))
 
     def _transmit_lan(self, packet: IPv4Packet) -> None:
@@ -507,5 +513,5 @@ class HomeGateway(Host):
         if bus is not None:
             bus.emit("pkt.tx", dev=self.profile.tag, dir=DOWNSTREAM, proto=packet.protocol, size=packet.wire_size())
         iface = self.lan_iface
-        mac = self.neighbors.get((LAN_IFACE, packet.dst), BROADCAST_MAC)
+        mac = self.neighbors.get((LAN_IFACE, packet.dst._ip), BROADCAST_MAC)
         iface.transmit(EthernetFrame(mac, iface.mac, packet, ETHERTYPE_IPV4))

@@ -19,6 +19,7 @@ delay the payload timestamps measure.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Dict, Optional
 
 from repro.devices.profile import ForwardingPolicy
@@ -67,6 +68,27 @@ class ForwardingEngine:
         #: Observability label (the owning device's tag); names this engine
         #: in ``pkt.drop`` trace events.
         self.label: Optional[str] = None
+        # Eager fast-path state.  A lane is eager-capable only when its
+        # service order is a pure function of its own token bucket: no
+        # shared CPU bucket, no pps cap, split queues.  Those cases couple
+        # lanes through bucket state at dispatch instants, which the staged
+        # engine resolves by interleaving heap events.
+        self._eager_capable = (
+            self._shared_bucket is None
+            and self._packet_bucket is None
+            and not policy.shared_queue
+        )
+        #: Per-lane service frontier: the virtual instant the lane's last
+        #: admitted packet consumes its tokens (the staged engine's dispatch
+        #: time), advanced in closed form.
+        self._frontier = {lane: 0.0 for lane in self._lanes}
+        #: Per-lane ledger of admitted-but-not-yet-dispatched packet sizes,
+        #: for buffer-occupancy (tail-drop) accounting: (dispatch_t, size).
+        self._eager_queued = {lane: deque() for lane in self._lanes}
+        self._eager_bytes = {lane: 0 for lane in self._lanes}
+        #: Voidable in-flight registry for crash flushes: eid -> entry.
+        self._eager_inflight: Dict[int, Any] = {}
+        self._next_eid = 0
 
     def _lane_for(self, direction: str) -> str:
         return _SHARED if self.policy.shared_queue else direction
@@ -79,6 +101,15 @@ class ForwardingEngine:
         if direction not in (UPSTREAM, DOWNSTREAM):
             raise ValueError(f"unknown direction {direction!r}")
         lane = self._lane_for(direction)
+        sim = self.sim
+        if (
+            self._eager_capable
+            and sim.fastpath
+            and sim.bus is None
+            and not self._pending[lane]
+            and not self._queues[lane]
+        ) or self._frontier[lane] > sim.now:
+            return self._forward_eager(direction, lane, item, size_bytes, deliver)
         if not self._queues[lane].offer((direction, item, deliver), size_bytes):
             self.dropped[direction] += 1
             bus = self.sim.bus
@@ -90,8 +121,62 @@ class ForwardingEngine:
         self._pump(lane)
         return True
 
+    def _forward_eager(self, direction: str, lane: str, item: Any, size_bytes: int, deliver: Callable[[Any], None]) -> bool:
+        """Admit one packet through the analytic service kernel.
+
+        Evaluates the staged engine's pump/dispatch float arithmetic at
+        admission time — same :class:`TokenBucket` calls at the same
+        (future) instants, so dispatch and delivery land on bit-identical
+        timestamps — and schedules only the delivery event.
+        """
+        sim = self.sim
+        now = sim.now
+        ledger = self._eager_queued[lane]
+        while ledger and ledger[0][0] <= now:
+            self._eager_bytes[lane] -= ledger.popleft()[1]
+        queue = self._queues[lane]
+        if self._eager_bytes[lane] + size_bytes > queue.capacity_bytes:
+            self.dropped[direction] += 1
+            queue.dropped += 1
+            bus = sim.bus
+            if bus is not None:
+                bus.emit("pkt.drop", dev=self.label, cause="queue_full", dir=direction, size=size_bytes)
+            return False
+        base = self._frontier[lane]
+        if base <= now:
+            base = now
+            sim.fastpath_windows += 1
+        bucket = self._buckets[direction]
+        # The staged engine's pump→dispatch→(repump) chain, eagerly.
+        t = base + bucket.delay_until_available(base, size_bytes)
+        while not bucket.can_consume(t, size_bytes):
+            t = t + bucket.delay_until_available(t, size_bytes)
+        bucket.try_consume(t, size_bytes)
+        self._frontier[lane] = t
+        if t > now:
+            ledger.append((t, size_bytes))
+            self._eager_bytes[lane] += size_bytes
+        queue.enqueued += 1
+        self.forwarded[direction] += 1
+        eid = self._next_eid
+        self._next_eid = eid + 1
+        self._eager_inflight[eid] = (direction, t)
+        sim.schedule_at(t + self.policy.base_delay, self._eager_deliver, deliver, item, eid)
+        sim.fastpath_events_saved += 1  # the staged dispatch event
+        return True
+
+    def _eager_deliver(self, deliver: Callable[[Any], None], item: Any, eid: int) -> None:
+        if self._eager_inflight.pop(eid, None) is None:
+            return  # voided by a crash flush while still queued
+        deliver(item)
+
     def queue_depth_bytes(self, direction: str) -> int:
-        return self._queues[self._lane_for(direction)].occupied_bytes
+        lane = self._lane_for(direction)
+        ledger = self._eager_queued[lane]
+        now = self.sim.now
+        while ledger and ledger[0][0] <= now:
+            self._eager_bytes[lane] -= ledger.popleft()[1]
+        return self._queues[lane].occupied_bytes + self._eager_bytes[lane]
 
     def flush(self) -> None:
         """Drop everything queued in the forwarding plane (crash/reboot).
@@ -109,6 +194,23 @@ class ForwardingEngine:
                 (direction, _item, _deliver), _size = entry
                 self.dropped[direction] += 1
                 flushed[direction] += 1
+        # Void eager admissions that have not reached their dispatch instant
+        # — the staged engine would still hold them in the queue.  Their
+        # delivery events become no-ops and their forwarded count unwinds
+        # (it was taken optimistically at admission).
+        now = self.sim.now
+        if self._eager_inflight:
+            for eid, (direction, t) in list(self._eager_inflight.items()):
+                if t > now:
+                    del self._eager_inflight[eid]
+                    self.forwarded[direction] -= 1
+                    self.dropped[direction] += 1
+                    flushed[direction] += 1
+            # The frontier (== each bucket's last-refill instant) stays put:
+            # winding it back would send the token buckets' clocks backwards.
+            for lane in self._lanes:
+                self._eager_queued[lane].clear()
+                self._eager_bytes[lane] = 0
         if bus is not None:
             for direction, count in flushed.items():
                 if count:
@@ -158,11 +260,13 @@ class ForwardingEngine:
         ):
             self._pump(lane)
             return
-        bucket.try_consume(now, size)
+        # The can_consume checks above refilled every bucket at ``now``;
+        # consume without refilling a second time at the same instant.
+        bucket.consume_unchecked(size)
         if self._shared_bucket is not None:
-            self._shared_bucket.try_consume(now, size)
+            self._shared_bucket.consume_unchecked(size)
         if self._packet_bucket is not None:
-            self._packet_bucket.try_consume(now, 1)
+            self._packet_bucket.consume_unchecked(1)
         entry = queue.poll()
         if entry is None:  # pragma: no cover - defensive
             return

@@ -72,6 +72,7 @@ class Binding:
         "created_at",
         "last_activity",
         "timer",
+        "lazy_deadline",
         "packets_out",
         "packets_in",
     )
@@ -86,10 +87,17 @@ class Binding:
         self.tcp_state = TCP_TRANSITORY
         self.fin_seen_out = False
         self.fin_seen_in = False
-        self.remotes_seen: Set[Endpoint] = {remote}
+        #: Remote endpoints as ``(int(ip), port)`` — int keys hash far
+        #: faster than IPv4Address and this set grows one probe per packet.
+        self.remotes_seen: Set[Tuple[int, int]] = {(remote[0]._ip, remote[1])}
         self.created_at = 0.0
         self.last_activity = 0.0
         self.timer: Optional[Timer] = None
+        #: Fast-path deferred expiry instant.  Per-packet re-arms record the
+        #: exact deadline the staged engine's ``restart`` would have armed
+        #: (same float arithmetic) without touching the heap; the already
+        #: armed, now-stale timer chases it when it fires.
+        self.lazy_deadline: Optional[float] = None
         self.packets_out = 0
         self.packets_in = 0
 
@@ -165,12 +173,14 @@ class NatEngine:
     # -- mapping keys ---------------------------------------------------------
 
     def _mapping_key(self, proto: str, int_ip: IPv4Address, int_port: int, remote: Endpoint) -> tuple:
+        # Keys carry int(ip): the stdlib IPv4Address hash builds a hex string
+        # per call, too slow for a dict probed on every forwarded packet.
         mapping = self.profile.nat.mapping
         if mapping is MappingBehavior.ENDPOINT_INDEPENDENT:
-            return (proto, int_ip, int_port)
+            return (proto, int_ip._ip, int_port)
         if mapping is MappingBehavior.ADDRESS_DEPENDENT:
-            return (proto, int_ip, int_port, remote[0])
-        return (proto, int_ip, int_port, remote[0], remote[1])
+            return (proto, int_ip._ip, int_port, remote[0]._ip)
+        return (proto, int_ip._ip, int_port, remote[0]._ip, remote[1])
 
     # -- port allocation ---------------------------------------------------------
 
@@ -253,7 +263,7 @@ class NatEngine:
         key = self._mapping_key(proto, int_ip, int_port, remote)
         binding = self._by_mapping.get(key)
         if binding is not None:
-            binding.remotes_seen.add(remote)
+            binding.remotes_seen.add((remote[0]._ip, remote[1]))
             return binding
         bus = self.sim.bus
         if self.binding_count(proto) >= self._max_bindings(proto):
@@ -309,6 +319,15 @@ class NatEngine:
         binding = self._by_mapping.get(key)
         if binding is None:
             return
+        target = binding.lazy_deadline
+        if target is not None:
+            if target > self.sim.now:
+                # Activity since the timer was armed pushed the real
+                # deadline out; chase it (one wake-up per idle-timeout span
+                # instead of one heap churn per packet).
+                binding.timer.start_at(target)
+                return
+            binding.lazy_deadline = None
         self.remove(key)
         self.bindings_expired += 1
         bus = self.sim.bus
@@ -383,12 +402,35 @@ class NatEngine:
             return deadline
         return math.ceil(deadline / granularity) * granularity
 
+    def _rearm_lazy(self, binding: Binding, deadline: float) -> None:
+        """Record the exact staged-engine deadline without re-arming.
+
+        ``restart(max(deadline - now, 0.0))`` arms at the float
+        ``now + max(deadline - now, 0.0)`` — not necessarily ``deadline``
+        under IEEE-754 — so that exact expression is what we store and what
+        the chasing timer eventually lands on.
+        """
+        sim = self.sim
+        now = sim.now
+        delta = deadline - now
+        target = now + (delta if delta > 0.0 else 0.0)
+        binding.lazy_deadline = target
+        timer = binding.timer
+        if timer.armed and timer.deadline <= target:
+            sim.fastpath_events_saved += 1  # heap push elided
+            return
+        timer.start_at(target)
+
     def _rearm_udp(self, binding: Binding) -> None:
         policy = self.profile.udp_timeouts
         timeout = policy.timeout_for(binding.state, binding.remote[1])
         deadline = self._quantize(binding.last_activity + timeout, policy.timer_granularity)
-        binding.timer.restart(max(deadline - self.sim.now, 0.0))
         bus = self.sim.bus
+        if bus is None and self.sim.fastpath:
+            self._rearm_lazy(binding, deadline)
+            return
+        binding.lazy_deadline = None
+        binding.timer.restart(max(deadline - self.sim.now, 0.0))
         if bus is not None:
             bus.emit(
                 "nat.refresh",
@@ -404,13 +446,18 @@ class NatEngine:
         if binding.tcp_state == TCP_ESTABLISHED:
             timeout = policy.established
             if timeout is None:
+                binding.lazy_deadline = None
                 binding.timer.cancel()
                 return
         else:
             timeout = policy.transitory
         deadline = self._quantize(binding.last_activity + timeout, policy.timer_granularity)
-        binding.timer.restart(max(deadline - self.sim.now, 0.0))
         bus = self.sim.bus
+        if bus is None and self.sim.fastpath:
+            self._rearm_lazy(binding, deadline)
+            return
+        binding.lazy_deadline = None
+        binding.timer.restart(max(deadline - self.sim.now, 0.0))
         if bus is not None:
             bus.emit(
                 "nat.refresh",
@@ -472,9 +519,10 @@ class NatEngine:
         if filtering is FilteringBehavior.ENDPOINT_INDEPENDENT:
             return True
         if filtering is FilteringBehavior.ADDRESS_DEPENDENT:
-            allowed = any(seen[0] == remote[0] for seen in binding.remotes_seen)
+            remote_ip = remote[0]._ip
+            allowed = any(seen[0] == remote_ip for seen in binding.remotes_seen)
         else:
-            allowed = remote in binding.remotes_seen
+            allowed = (remote[0]._ip, remote[1]) in binding.remotes_seen
         if not allowed:
             self.inbound_filtered += 1
             bus = self.sim.bus

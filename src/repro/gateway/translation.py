@@ -22,7 +22,7 @@ from __future__ import annotations
 from ipaddress import IPv4Address
 from typing import Optional
 
-from repro.packets.checksum import incremental_update
+from repro.packets.checksum import incremental_update_words
 from repro.packets.clone import clone_packet
 from repro.packets.dccp import DccpPacket
 from repro.packets.ipv4 import IPv4Packet
@@ -54,30 +54,36 @@ def rewrite_destination(packet: IPv4Packet, new_ip: IPv4Address, new_port: Optio
 def _rewrite(packet: IPv4Packet, ip_attr: str, port_attr: str, new_ip: IPv4Address, new_port: Optional[int]) -> None:
     transport = packet.payload
     old_ip: IPv4Address = getattr(packet, ip_attr)
-    old_words = old_ip.packed
-    new_words = new_ip.packed
+    old_words = old_ip._ip  # raw int; IPv4Address.__int__ costs a call per packet
+    new_words = new_ip._ip
+    nwords = 2
     setattr(packet, ip_attr, new_ip)
     if new_port is not None and isinstance(transport, _PORT_REWRITE_TRANSPORTS):
         old_port: int = getattr(transport, port_attr)
-        old_words += old_port.to_bytes(2, "big")
-        new_words += new_port.to_bytes(2, "big")
+        old_words = (old_words << 16) | old_port
+        new_words = (new_words << 16) | new_port
+        nwords = 3
         setattr(transport, port_attr, new_port)
-    _update_transport_checksum(packet, transport, old_words, new_words)
+    _update_transport_checksum(packet, transport, old_words, new_words, nwords)
     _update_ip_checksum(packet, old_ip, new_ip)
 
 
-def _update_transport_checksum(packet: IPv4Packet, transport, old_words: bytes, new_words: bytes) -> None:
+def _update_transport_checksum(
+    packet: IPv4Packet, transport, old_words: int, new_words: int, nwords: int
+) -> None:
     if isinstance(transport, UdpDatagram):
         if transport.checksum == 0:
             return  # RFC 3022: a zero UDP checksum means "none"; forward as-is
         if transport.checksum is not None:
-            updated = incremental_update(transport.checksum, old_words, new_words)
+            updated = incremental_update_words(transport.checksum, old_words, new_words, nwords)
             # RFC 768: an all-zero computed checksum is transmitted as 0xFFFF.
             transport.checksum = updated or 0xFFFF
             return
     elif isinstance(transport, TcpSegment):
         if transport.checksum is not None:
-            transport.checksum = incremental_update(transport.checksum, old_words, new_words)
+            transport.checksum = incremental_update_words(
+                transport.checksum, old_words, new_words, nwords
+            )
             return
     # No base checksum to update, or a transport (SCTP CRC, DCCP) we only
     # know how to recompute in full.
@@ -87,7 +93,9 @@ def _update_transport_checksum(packet: IPv4Packet, transport, old_words: bytes, 
 
 def _update_ip_checksum(packet: IPv4Packet, old_ip: IPv4Address, new_ip: IPv4Address) -> None:
     if packet.header_checksum is not None:
-        packet.header_checksum = incremental_update(packet.header_checksum, old_ip.packed, new_ip.packed)
+        packet.header_checksum = incremental_update_words(
+            packet.header_checksum, old_ip._ip, new_ip._ip, 2
+        )
     else:
         packet.header_checksum = packet.compute_header_checksum()
 

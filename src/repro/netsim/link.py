@@ -10,12 +10,14 @@ store-and-forward model.  The testbed's "100 Mb/sec Ethernet" links are
 from __future__ import annotations
 
 import random
+from collections import deque
+from heapq import heappush
 from typing import Any, Optional
 
 from repro.netsim.impair import Impairment, LinkImpairer
 from repro.netsim.node import Interface
 from repro.netsim.queues import DropTailQueue
-from repro.netsim.sim import Simulation
+from repro.netsim.sim import _COMPACT_MIN_HEAP, Simulation
 
 #: Default transmit-queue size; generous enough that host-side queues are
 #: never the bottleneck (the interesting buffers live inside the gateways).
@@ -31,7 +33,37 @@ def frame_wire_size(frame: Any) -> int:
 
 
 class LinkEndpoint:
-    """One direction-of-entry into a link: the transmitter at one end."""
+    """One direction-of-entry into a link: the transmitter at one end.
+
+    Two engines share this transmitter and its timing model:
+
+    * the staged event path (``_start_next``/``_transmission_done``), which
+      schedules a serialization-done event and then a delivery event per
+      frame — required whenever the link is impaired, severed, or the run
+      is being flight-recorded; and
+    * the eager fast path, which advances a ``busy_until`` serialization
+      frontier in closed form and schedules *one* delivery event per frame.
+      The frontier arithmetic is literally the staged path's float
+      expressions evaluated early (``start = max(now, busy_until)``;
+      ``done = start + tx_time``; ``deliver_at = done + delay``), so the
+      delivery instants are bit-identical and the two engines are
+      interchangeable mid-run at link-idle boundaries.
+    """
+
+    __slots__ = (
+        "link",
+        "iface",
+        "peer",
+        "queue",
+        "_transmitting",
+        "frames_dropped",
+        "_busy_until",
+        "_pending_frames",
+        "_pending_bytes",
+        "_inflight",
+        "_next_eid",
+        "_drain_scheduled",
+    )
 
     def __init__(self, link: "Link", iface: Interface, queue_bytes: int):
         self.link = link
@@ -42,15 +74,99 @@ class LinkEndpoint:
         #: Frames this transmitter lost: tail drops, flushed-on-sever queue
         #: contents, and frames in flight when the cable was cut.
         self.frames_dropped = 0
+        # Eager-kernel state: the serialization frontier, the ledger of
+        # accepted-but-not-yet-started frames (for tail-drop accounting),
+        # and the registry of in-flight deliveries (voidable by flush).
+        self._busy_until = 0.0
+        self._pending_frames: deque = deque()  # (eid, start_time, size)
+        self._pending_bytes = 0
+        self._inflight: dict = {}  # eid -> start_time
+        self._next_eid = 0
+        self._drain_scheduled = False
 
     def transmit(self, frame: Any) -> None:
         """Queue a frame for serialization onto the wire."""
+        link = self.link
+        sim = link.sim
+        if (
+            sim.fastpath
+            and sim.bus is None
+            and link.impairer is None
+            and not link.broken
+            and not self._transmitting
+            and self.peer is not None
+        ):
+            self._transmit_eager(frame, sim)
+            return
         if not self.queue.offer(frame, frame_wire_size(frame)):
             self.frames_dropped += 1  # tail drop
-            bus = self.link.sim.bus
+            bus = sim.bus
             if bus is not None:
-                bus.emit("link.drop", link=self.link.label, cause="tail_drop")
+                bus.emit("link.drop", link=link.label, cause="tail_drop")
             return
+        if not self._transmitting:
+            if self._busy_until > sim.now:
+                # Eager frames still own the transmitter; kick the staged
+                # engine once the frontier drains (mid-run mode flip, e.g.
+                # a trace bus attached while a link was busy).
+                if not self._drain_scheduled:
+                    self._drain_scheduled = True
+                    sim.schedule_at(self._busy_until, self._drain_after_eager)
+                return
+            self._start_next()
+
+    def _transmit_eager(self, frame: Any, sim) -> None:
+        now = sim.now
+        size = frame.wire_size()  # the staged offer path keeps the guard
+        pending = self._pending_frames
+        while pending and pending[0][0] <= now:
+            self._pending_bytes -= pending.popleft()[1]
+        queue = self.queue
+        if self._pending_bytes + size > queue.capacity_bytes:
+            queue.dropped += 1
+            self.frames_dropped += 1  # tail drop
+            return
+        link = self.link
+        busy = self._busy_until
+        start = busy if busy > now else now
+        if start <= now:
+            sim.fastpath_windows += 1
+        done = start + size * 8.0 / link.rate_bps
+        self._busy_until = done
+        eid = self._next_eid
+        self._next_eid = eid + 1
+        if start > now:
+            pending.append((start, size))
+            self._pending_bytes += size
+        queue.enqueued += 1
+        self._inflight[eid] = (start, done)
+        # Inlined sim.schedule_at: ``done + delay >= now`` by construction,
+        # so the past-check is redundant on the hottest push in the model.
+        heap = sim._heap
+        if sim._stale_entries and sim._stale_entries * 2 > len(heap) >= _COMPACT_MIN_HEAP:
+            sim._compact()
+        heappush(heap, (done + link.delay, next(sim._seq), self._eager_deliver, (frame, eid)))
+        sim.fastpath_events_saved += 1  # the staged serialization-done event
+
+    def _eager_deliver(self, frame: Any, eid: int) -> None:
+        entry = self._inflight.pop(eid, None)
+        if entry is None:
+            return  # voided by a crash flush while still queued
+        link = self.link
+        if link.broken and entry[1] >= link._broken_at:
+            # The cable was cut before this frame finished serializing; the
+            # staged engine drops it at its serialization-done event.
+            self.frames_dropped += 1
+            bus = link.sim.bus
+            if bus is not None:
+                bus.emit("link.drop", link=link.label, cause="severed")
+            return
+        link.frames_carried += 1
+        # NOT inlined: PacketTrace instruments Interface.deliver per instance.
+        self.peer.iface.deliver(frame)
+
+    def _drain_after_eager(self) -> None:
+        self._drain_scheduled = False
         if not self._transmitting:
             self._start_next()
 
@@ -59,6 +175,22 @@ class LinkEndpoint:
         flushed = len(self.queue)
         self.frames_dropped += flushed
         self.queue.clear()
+        # Void eager frames that have not started serializing yet; a frame
+        # already on the wire (started) propagates, exactly as in the staged
+        # engine where only *queued* frames are flushed.
+        now = self.link.sim.now
+        if self._inflight:
+            new_busy = now
+            for eid, (start, done) in list(self._inflight.items()):
+                if start > now:
+                    del self._inflight[eid]
+                    self.frames_dropped += 1
+                    flushed += 1
+                elif done > new_busy:
+                    new_busy = done  # still serializing; it finishes and propagates
+            self._busy_until = new_busy
+            self._pending_frames.clear()
+            self._pending_bytes = 0
         if flushed:
             bus = self.link.sim.bus
             if bus is not None:
@@ -124,6 +256,10 @@ class Link:
         self.endpoint_a: Optional[LinkEndpoint] = None
         self.endpoint_b: Optional[LinkEndpoint] = None
         self.broken = False
+        #: Instant of the most recent :meth:`sever`; eager deliveries whose
+        #: serialization finished after this drop, like the staged engine's
+        #: broken check at transmission-done.
+        self._broken_at = 0.0
         self.frames_carried = 0
         self.impairer: Optional[LinkImpairer] = None
         #: Observability label (``"<device>:<role>"`` in the testbed); names
@@ -152,6 +288,7 @@ class Link:
         ever does.
         """
         self.broken = True
+        self._broken_at = self.sim.now
         for endpoint in (self.endpoint_a, self.endpoint_b):
             if endpoint is not None:
                 endpoint.flush()

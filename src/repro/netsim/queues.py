@@ -101,8 +101,13 @@ class TokenBucket:
     EPSILON_BYTES = 1e-6
 
     def can_consume(self, now: float, size_bytes: int) -> bool:
-        self._refill(now)
-        return self._tokens + self.EPSILON_BYTES >= size_bytes
+        elapsed = now - self._last_fill  # _refill inlined: per-packet hot path
+        if elapsed < 0:
+            raise ValueError("time went backwards in TokenBucket")
+        tokens = min(self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8.0)
+        self._tokens = tokens
+        self._last_fill = now
+        return tokens + self.EPSILON_BYTES >= size_bytes
 
     def try_consume(self, now: float, size_bytes: int) -> bool:
         """Consume ``size_bytes`` tokens if available right now."""
@@ -110,6 +115,11 @@ class TokenBucket:
             return False
         self._tokens = max(self._tokens - size_bytes, 0.0)
         return True
+
+    def consume_unchecked(self, size_bytes: int) -> None:
+        """Subtract tokens already verified available by a :meth:`can_consume`
+        at the same instant (skips the redundant second refill)."""
+        self._tokens = max(self._tokens - size_bytes, 0.0)
 
     def delay_until_available(self, now: float, size_bytes: int) -> float:
         """Seconds until ``size_bytes`` tokens will have accumulated (0 if ready)."""

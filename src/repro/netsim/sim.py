@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from heapq import heappop, heappush
 import random
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -100,6 +101,29 @@ class Timer:
     # ``restart`` reads better at call sites that re-arm an existing timer.
     restart = start
 
+    def start_at(self, deadline: float) -> "Timer":
+        """Arm the timer at an *absolute* instant.
+
+        The fast-path lazy re-arm pattern (NAT idle timers, TCP
+        retransmission timers) precomputes the exact legacy deadline float
+        and defers the heap push; when the deferred wake-up finally chases
+        the real deadline it must land on the *same* float instant a
+        ``restart(deadline - now)`` at activity time would have produced.
+        ``start_at`` schedules that instant verbatim instead of round-
+        tripping it through ``now + (deadline - now)``, which is not an
+        identity under IEEE-754 rounding.
+        """
+        if deadline < self._sim.now:
+            raise ValueError(f"timer deadline in the past: {deadline} < {self._sim.now}")
+        if self._alive:
+            self._sim._stale_entries += 1
+        self._gen += 1
+        self._alive = True
+        self._deadline = deadline
+        self._sim._schedule_abs(deadline, self._fire, self._gen)
+        self._pending += 1
+        return self
+
     def cancel(self) -> None:
         """Disarm the timer.  Safe to call on an unarmed timer."""
         if self._alive:
@@ -169,6 +193,28 @@ class Simulation:
         self.stale_purges = 0
         #: Total dead heap entries dropped by compaction.
         self.stale_entries_purged = 0
+        #: Master switch for the hybrid flow-level fast path.  When True
+        #: (the default), links, the gateway forwarding plane and the
+        #: idle-timer machinery advance their state with closed-form
+        #: analytic kernels between interesting instants instead of
+        #: scheduling every intermediate event.  The kernels execute the
+        #: *same* float arithmetic as the staged event path, so results are
+        #: bit-identical; publishers that need full event fidelity (an
+        #: attached trace bus, impaired links) fall back per call site.
+        self.fastpath = True
+        #: Heap events elided by the fast path (the analytic kernels'
+        #: dividend).  ``events_processed + fastpath_events_saved`` is the
+        #: engine-independent work measure reported as ``segments_modeled``.
+        self.fastpath_events_saved = 0
+        #: Idle→busy transitions of an analytic kernel (one "window" of
+        #: closed-form advance: a link busy run, a forwarding service chain).
+        self.fastpath_windows = 0
+
+    @property
+    def segments_modeled(self) -> int:
+        """Work units modeled, independent of engine: processed events plus
+        the events the analytic fast path proved it did not need to run."""
+        return self.events_processed + self.fastpath_events_saved
 
     # -- scheduling -------------------------------------------------------
 
@@ -176,13 +222,19 @@ class Simulation:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self._schedule_abs(self.now + delay, callback, *args)
+        heap = self._heap
+        if self._stale_entries and self._stale_entries * 2 > len(heap) >= _COMPACT_MIN_HEAP:
+            self._compact()
+        heappush(heap, (self.now + delay, next(self._seq), callback, args))
 
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute simulated time ``when``."""
         if when < self.now:
             raise ValueError(f"cannot schedule into the past (when={when}, now={self.now})")
-        self._schedule_abs(when, callback, *args)
+        heap = self._heap
+        if self._stale_entries and self._stale_entries * 2 > len(heap) >= _COMPACT_MIN_HEAP:
+            self._compact()
+        heappush(heap, (when, next(self._seq), callback, args))
 
     def timer(self, callback: Callable[..., None], *args: Any) -> Timer:
         """Create an (unarmed) :class:`Timer` bound to this simulation."""
@@ -190,7 +242,7 @@ class Simulation:
 
     def _schedule_abs(self, when: float, callback: Callable[..., None], *args: Any) -> None:
         heap = self._heap
-        if self._stale_entries * 2 > len(heap) and len(heap) >= _COMPACT_MIN_HEAP:
+        if self._stale_entries and self._stale_entries * 2 > len(heap) >= _COMPACT_MIN_HEAP:
             self._compact()
         heapq.heappush(heap, (when, next(self._seq), callback, args))
 
@@ -231,7 +283,7 @@ class Simulation:
                 f"virtual-time watchdog expired: next event at t={self._heap[0][0]:.3f}s "
                 f"is past the limit of {self.watchdog_limit:.3f}s"
             )
-        when, _seq, callback, args = heapq.heappop(self._heap)
+        when, _seq, callback, args = heappop(self._heap)
         self.now = when
         self.events_processed += 1
         callback(*args)

@@ -48,10 +48,11 @@ class VlanSwitch(Node):
     def receive_frame(self, iface: Interface, frame: Any) -> None:
         vlan = self._port_vlan[iface.index]
         self._mac_table[(vlan, frame.src)] = iface.index
-        if frame.dst.is_broadcast or frame.dst.is_multicast:
+        dst = frame.dst
+        if dst._value == 0xFFFFFFFFFFFF or (dst._value >> 40) & 1:  # broadcast/multicast
             self._flood(vlan, iface.index, frame)
             return
-        out_port = self._mac_table.get((vlan, frame.dst))
+        out_port = self._mac_table.get((vlan, dst))
         if out_port is None:
             self._flood(vlan, iface.index, frame)
             return

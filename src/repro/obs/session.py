@@ -88,10 +88,29 @@ class ShardObserver:
         """Stop observing after a family run; records its virtual-time span."""
         if self.registry is not None:
             self.registry.record_span(family, bed.sim.now - self._family_started)
+            # Fast-path counters land here too, so ``--metrics`` dumps carry
+            # them.  On a traced run they stay 0: attaching the bus is what
+            # routes every call site back through the staged engine.
+            if bed.sim.fastpath_events_saved:
+                self.registry.inc("fastpath.events_saved", bed.sim.fastpath_events_saved)
+            if bed.sim.fastpath_windows:
+                self.registry.inc("fastpath.windows", bed.sim.fastpath_windows)
         if self._pcap is not None:
             self._pcap.close()
             self._pcap = None
         if self._bus is not None:
+            # Closing record: the simulator's own counters, so a shipped
+            # trace carries its run's engine accounting (fastpath counters
+            # accrue only before attach — bring-up — since the bus itself
+            # pins the staged engine).
+            closing = {
+                "events": bed.sim.events_processed,
+                "fastpath_saved": bed.sim.fastpath_events_saved,
+                "fastpath_windows": bed.sim.fastpath_windows,
+            }
+            if self.device is not None:
+                closing["dev"] = self.device
+            self._bus.emit("sim.stats", **closing)
             self._bus.detach()
             self._bus = None
 

@@ -28,6 +28,9 @@ def summarize_trace(path: PathLike) -> Dict[str, Any]:
     families: Dict[str, int] = {}
     span = [None, None]  # first/last timestamp
     total = 0
+    sim_events = 0
+    fastpath_saved = 0
+    fastpath_windows = 0
     with open(path, encoding="utf-8") as stream:
         for line in stream:
             line = line.strip()
@@ -45,6 +48,12 @@ def summarize_trace(path: PathLike) -> Dict[str, Any]:
                 drops[cause] = drops.get(cause, 0) + int(record.get("count", 1))
             elif kind == "nat.expire" and "lifetime" in record:
                 lifetimes.append(float(record["lifetime"]))
+            elif kind == "sim.stats":
+                # Closing record each observed family writes: the engine's
+                # own counters (heap events, fast-path elisions).
+                sim_events += int(record.get("events", 0))
+                fastpath_saved += int(record.get("fastpath_saved", 0))
+                fastpath_windows += int(record.get("fastpath_windows", 0))
             t = record.get("t")
             if t is not None:
                 span[0] = t if span[0] is None else min(span[0], t)
@@ -57,6 +66,13 @@ def summarize_trace(path: PathLike) -> Dict[str, Any]:
         "drop_causes": dict(sorted(drops.items())),
         "virtual_span_seconds": None if span[0] is None else round(span[1] - span[0], 6),
     }
+    if sim_events or fastpath_saved or fastpath_windows:
+        summary["sim"] = {
+            "events_processed": sim_events,
+            "segments_modeled": sim_events + fastpath_saved,
+            "fastpath_events_saved": fastpath_saved,
+            "fastpath_windows": fastpath_windows,
+        }
     if lifetimes:
         summary["binding_lifetimes_s"] = {
             "count": len(lifetimes),
@@ -99,6 +115,13 @@ def render_summary(summaries: List[Dict[str, Any]]) -> str:
         if summary["drop_causes"]:
             causes = "  ".join(f"{cause}:{count}" for cause, count in summary["drop_causes"].items())
             lines.append(f"  drop causes  {causes}")
+        sim = summary.get("sim")
+        if sim:
+            lines.append(
+                f"  simulator    {sim['segments_modeled']} segments modeled "
+                f"({sim['events_processed']} heap events, "
+                f"{sim['fastpath_events_saved']} elided in {sim['fastpath_windows']} fast-path windows)"
+            )
         lifetimes = summary.get("binding_lifetimes_s")
         if lifetimes:
             lines.append(

@@ -13,8 +13,6 @@ Two algorithms matter to the study:
 
 from __future__ import annotations
 
-import sys
-from array import array
 from ipaddress import IPv4Address
 
 
@@ -37,18 +35,48 @@ def internet_checksum_reference(data: bytes) -> int:
 def internet_checksum(data: bytes) -> int:
     """RFC 1071 one's-complement sum of 16-bit words.
 
-    Fast path: sum native-endian 16-bit words at C speed, fold, and
-    byte-swap the folded result on little-endian machines.  One's-complement
-    addition is endian-agnostic, so this equals the big-endian sum (the
-    classic BSD trick); the reference implementation above is the oracle.
+    Fast path: read the whole buffer as one big-endian integer and reduce it
+    modulo ``0xFFFF``.  Because ``2**16 ≡ 1 (mod 2**16 - 1)``, the sum of a
+    number's base-2**16 digits is congruent to the number itself — the
+    "casting out nines" identity, in base 65536 — so the folded
+    one's-complement sum is exactly ``N mod 0xFFFF`` (with the single
+    ambiguity that a non-zero multiple of 0xFFFF folds to 0xFFFF, not 0).
+    Both ``int.from_bytes`` and bignum ``%`` run at C speed, which makes
+    this several times faster than summing an ``array("H")`` view for the
+    MSS-size TCP payloads the bulk-transfer tests push through every
+    gateway.  The reference implementation above is the oracle.
     """
+    total = int.from_bytes(data, "big")
     if len(data) % 2:
-        data += b"\x00"
-    total = sum(array("H", data))
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    if sys.byteorder == "little":
-        total = ((total & 0xFF) << 8) | (total >> 8)
+        total <<= 8
+    total %= 0xFFFF
+    if total == 0 and data and any(data):
+        total = 0xFFFF
+    return (~total) & 0xFFFF
+
+
+def checksum_of_parts(words_sum: int, payload: bytes) -> int:
+    """One's-complement checksum from pre-summed header words plus a payload.
+
+    ``words_sum`` is the plain integer sum of the 16-bit words of the
+    (even-length) pseudo-header and transport header; ``payload`` is reduced
+    with the same big-int identity as :func:`internet_checksum`.  Because
+    ``2**16 ≡ 1 (mod 0xFFFF)``, the concatenation's residue equals the sum of
+    its parts' residues, so for any input containing a nonzero byte this is
+    exactly ``internet_checksum(header_bytes + payload)`` — without ever
+    materializing the header bytes.  The transports use it on their hot
+    paths; the byte-building forms remain for segments with options and as
+    the property-test oracle.
+    """
+    total = words_sum
+    if payload:
+        part = int.from_bytes(payload, "big")
+        if len(payload) % 2:
+            part <<= 8
+        total += part
+    total %= 0xFFFF
+    if total == 0:
+        total = 0xFFFF  # a nonzero multiple of 0xFFFF folds to 0xFFFF, not 0
     return (~total) & 0xFFFF
 
 
@@ -68,10 +96,28 @@ def incremental_update(checksum: int, old_bytes: bytes, new_bytes: bytes) -> int
         raise ValueError("old/new rewrite material must have equal length")
     if len(old_bytes) % 2:
         raise ValueError("rewrite material must be 16-bit aligned")
+    return incremental_update_words(
+        checksum,
+        int.from_bytes(old_bytes, "big"),
+        int.from_bytes(new_bytes, "big"),
+        len(old_bytes) // 2,
+    )
+
+
+def incremental_update_words(checksum: int, old: int, new: int, nwords: int) -> int:
+    """RFC 1624 update with the rewrite material as packed integers.
+
+    ``old``/``new`` carry ``nwords`` 16-bit words each (most-significant word
+    first, leading zero words included — they still contribute ``0xFFFF``
+    when complemented).  Same arithmetic as :func:`incremental_update`, the
+    word sum being order-independent, without materializing any bytes; the
+    NAT data path calls this per rewritten packet.
+    """
     total = (~checksum) & 0xFFFF
-    for i in range(0, len(old_bytes), 2):
-        total += (~((old_bytes[i] << 8) | old_bytes[i + 1])) & 0xFFFF
-        total += (new_bytes[i] << 8) | new_bytes[i + 1]
+    for _ in range(nwords):
+        total += ((~old) & 0xFFFF) + (new & 0xFFFF)
+        old >>= 16
+        new >>= 16
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF

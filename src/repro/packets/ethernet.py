@@ -17,17 +17,24 @@ MIN_PAYLOAD_BYTES = 46
 class EthernetFrame:
     """An Ethernet II frame carrying a structured payload (usually IPv4)."""
 
-    __slots__ = ("dst", "src", "ethertype", "payload")
+    __slots__ = ("dst", "src", "ethertype", "payload", "_wire")
 
     def __init__(self, dst: MacAddress, src: MacAddress, payload: Any, ethertype: int = ETHERTYPE_IPV4):
         self.dst = dst
         self.src = src
         self.ethertype = ethertype
         self.payload = payload
+        self._wire: Optional[int] = None
 
     def wire_size(self) -> int:
-        payload_size = self.payload.wire_size() if hasattr(self.payload, "wire_size") else len(self.payload)
-        return HEADER_BYTES + max(payload_size, MIN_PAYLOAD_BYTES) + FCS_BYTES
+        # Cached: a frame crosses several links (host, switch relay, gateway)
+        # and its payload never changes after construction.
+        size = self._wire
+        if size is None:
+            payload = self.payload
+            payload_size = payload.wire_size() if hasattr(payload, "wire_size") else len(payload)
+            size = self._wire = HEADER_BYTES + max(payload_size, MIN_PAYLOAD_BYTES) + FCS_BYTES
+        return size
 
     def to_bytes(self) -> bytes:
         payload = self.payload.to_bytes() if hasattr(self.payload, "to_bytes") else bytes(self.payload)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from ipaddress import IPv4Address
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.packets.checksum import internet_checksum
+from repro.packets.checksum import checksum_of_parts, internet_checksum
 
 PROTO_ICMP = 1
 PROTO_TCP = 6
@@ -101,6 +101,7 @@ class IPv4Packet:
         "dont_fragment",
         "header_checksum",
         "record_route",
+        "_wire",
     )
 
     def __init__(
@@ -126,6 +127,7 @@ class IPv4Packet:
         self.dont_fragment = dont_fragment
         self.header_checksum = header_checksum
         self.record_route = record_route
+        self._wire: Optional[int] = None
 
     # -- sizes ------------------------------------------------------------
 
@@ -141,7 +143,12 @@ class IPv4Packet:
         return len(self.payload)
 
     def wire_size(self) -> int:
-        return self.header_size() + self.payload_size()
+        # Cached: in-flight packets are never resized (NAT and routers work
+        # on fresh clones; rewrites touch addresses and TTL, not lengths).
+        size = self._wire
+        if size is None:
+            size = self._wire = self.header_size() + self.payload_size()
+        return size
 
     # -- checksums ---------------------------------------------------------
 
@@ -169,7 +176,19 @@ class IPv4Packet:
         return header
 
     def compute_header_checksum(self) -> int:
-        return internet_checksum(self.header_bytes(0))
+        if self.record_route is not None:
+            return internet_checksum(self.header_bytes(0))
+        src = self.src._ip  # ._ip avoids the IPv4Address.__int__ call
+        dst = self.dst._ip
+        words = (
+            0x4500 + self.tos  # version 4, IHL 5 without options
+            + self.wire_size()
+            + self.identification
+            + (0x4000 if self.dont_fragment else 0)
+            + (self.ttl << 8) + self.protocol
+            + (src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF)
+        )
+        return checksum_of_parts(words, b"")
 
     def fill_checksums(self) -> "IPv4Packet":
         """Compute the header checksum and (if supported) the payload's."""

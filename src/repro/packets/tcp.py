@@ -12,7 +12,7 @@ from __future__ import annotations
 from ipaddress import IPv4Address
 from typing import List, Optional, Tuple
 
-from repro.packets.checksum import internet_checksum, pseudo_header
+from repro.packets.checksum import checksum_of_parts, internet_checksum, pseudo_header
 from repro.packets.ipv4 import PAYLOAD_PARSERS, PROTO_TCP
 
 TCP_FIN = 0x01
@@ -98,6 +98,7 @@ class TcpSegment:
         "options",
         "checksum",
         "urgent",
+        "_wire",
     )
 
     def __init__(
@@ -126,6 +127,7 @@ class TcpSegment:
         self.options = options or []
         self.checksum = checksum
         self.urgent = urgent
+        self._wire: Optional[int] = None
 
     # -- flag helpers -------------------------------------------------------
 
@@ -151,6 +153,8 @@ class TcpSegment:
     # -- sizes ----------------------------------------------------------------
 
     def options_size(self) -> int:
+        if not self.options:  # every data/ACK segment; only SYNs carry options
+            return 0
         size = sum(opt.wire_size() for opt in self.options)
         if size % 4:
             size += 4 - size % 4
@@ -160,7 +164,12 @@ class TcpSegment:
         return BASE_HEADER_BYTES + self.options_size()
 
     def wire_size(self) -> int:
-        return self.header_size() + len(self.payload)
+        # Cached: segments are structurally immutable once on the wire (the
+        # one in-place mutation, the MSS-stripping quirk, resets the cache).
+        size = self._wire
+        if size is None:
+            size = self._wire = self.header_size() + len(self.payload)
+        return size
 
     def seq_space(self) -> int:
         """Sequence numbers this segment consumes (payload + SYN/FIN)."""
@@ -182,8 +191,22 @@ class TcpSegment:
         return header + opts
 
     def compute_checksum(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> int:
-        pseudo = pseudo_header(src_ip, dst_ip, PROTO_TCP, self.wire_size())
-        return internet_checksum(pseudo + self._header(0) + self.payload)
+        if self.options:  # SYNs only; data/ACK segments take the int path
+            pseudo = pseudo_header(src_ip, dst_ip, PROTO_TCP, self.wire_size())
+            return internet_checksum(pseudo + self._header(0) + self.payload)
+        payload = self.payload
+        src = src_ip._ip  # IPv4Address.__int__ is a Python call; ._ip is the raw int
+        dst = dst_ip._ip
+        words = (
+            (src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF)
+            + PROTO_TCP + BASE_HEADER_BYTES + len(payload)  # pseudo length word
+            + self.src_port + self.dst_port
+            + (self.seq >> 16) + (self.seq & 0xFFFF)
+            + (self.ack >> 16) + (self.ack & 0xFFFF)
+            + 0x5000 + (self.flags & 0x3F)  # data offset 5, reserved zero
+            + self.window + self.urgent
+        )
+        return checksum_of_parts(words, payload)
 
     def fill_checksum(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> None:
         self.checksum = self.compute_checksum(src_ip, dst_ip)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from ipaddress import IPv4Address
 from typing import Optional
 
-from repro.packets.checksum import internet_checksum, pseudo_header
+from repro.packets.checksum import checksum_of_parts
 from repro.packets.ipv4 import PAYLOAD_PARSERS, PROTO_UDP
 
 HEADER_BYTES = 8
@@ -37,8 +37,16 @@ class UdpDatagram:
         )
 
     def compute_checksum(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> int:
-        pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, self.wire_size())
-        checksum = internet_checksum(pseudo + self._header(0) + self.payload)
+        payload = self.payload
+        length = HEADER_BYTES + len(payload)
+        src = src_ip._ip  # ._ip avoids the IPv4Address.__int__ call
+        dst = dst_ip._ip
+        words = (
+            (src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF)
+            + PROTO_UDP + length  # pseudo-header; length appears again below
+            + self.src_port + self.dst_port + length
+        )
+        checksum = checksum_of_parts(words, payload)
         # RFC 768: an all-zero computed checksum is transmitted as 0xFFFF.
         return checksum or 0xFFFF
 

@@ -58,7 +58,9 @@ class Host(Node):
         super().__init__(sim, name)
         self._mac_pool = mac_pool
         self.routes: List[Route] = []
-        self.neighbors: Dict[Tuple[int, IPv4Address], MacAddress] = {}
+        # Keyed by (iface index, int(ip)): the stdlib IPv4Address hash builds
+        # a hex string per call, too slow for a per-frame dict.
+        self.neighbors: Dict[Tuple[int, int], MacAddress] = {}
         # Observers see every IPv4 packet accepted by this host (like a
         # tcpdump on all interfaces); interceptors may consume a packet
         # before the stack handles it — the paper's "hijack" hook.
@@ -185,7 +187,7 @@ class Host(Node):
             if next_hop is None or packet.dst == LIMITED_BROADCAST:
                 dst_mac = BROADCAST_MAC
             else:
-                dst_mac = self.neighbors.get((iface_index, next_hop), BROADCAST_MAC)
+                dst_mac = self.neighbors.get((iface_index, next_hop._ip), BROADCAST_MAC)
         frame = EthernetFrame(dst_mac, iface.mac, packet, ETHERTYPE_IPV4)
         self.packets_sent += 1
         iface.transmit(frame)
@@ -196,14 +198,15 @@ class Host(Node):
     def receive_frame(self, iface: Interface, frame: Any) -> None:
         if frame.ethertype != ETHERTYPE_IPV4:
             return
-        if frame.dst != iface.mac and not frame.dst.is_broadcast and not frame.dst.is_multicast:
+        dst_mac = frame.dst._value  # inlined is_broadcast/is_multicast checks
+        if dst_mac != iface.mac._value and dst_mac != 0xFFFFFFFFFFFF and not (dst_mac >> 40) & 1:
             return
         packet = frame.payload
         if not isinstance(packet, IPv4Packet):
             return
         # Learn the sender's L2 address for future unicasts.
         if packet.src != UNSPECIFIED:
-            self.neighbors[(iface.index, packet.src)] = frame.src
+            self.neighbors[(iface.index, packet.src._ip)] = frame.src
         if not self._addressed_to_us(packet.dst, iface):
             if self.ip_forwarding:
                 self._forward(packet, iface)
@@ -247,11 +250,13 @@ class Host(Node):
     def deliver_local(self, packet: IPv4Packet, iface: Interface) -> None:
         """Run a packet through this host's own stack (observers + demux)."""
         self.packets_received += 1
-        for observer in list(self.ip_observers):
-            observer(packet, iface)
-        for interceptor in list(self.interceptors):
-            if interceptor(packet, iface):
-                return
+        if self.ip_observers:  # copied so observers may deregister mid-walk
+            for observer in list(self.ip_observers):
+                observer(packet, iface)
+        if self.interceptors:
+            for interceptor in list(self.interceptors):
+                if interceptor(packet, iface):
+                    return
         handler = self._handlers.get(packet.protocol)
         if handler is None:
             self.icmp.protocol_unreachable(packet, iface)

@@ -110,6 +110,68 @@ class TcpListener:
 class TcpConnection:
     """One TCP connection endpoint."""
 
+    __slots__ = (
+        "manager",
+        "host",
+        "sim",
+        "local_ip",
+        "local_port",
+        "remote_ip",
+        "remote_port",
+        "iface_index",
+        "state",
+        "mss",
+        "use_window_scaling",
+        "rcv_wnd",
+        "wscale_shift",
+        "iss",
+        "snd_una",
+        "snd_nxt",
+        "peer_window",
+        "peer_wscale",
+        "_send_buffer",
+        "_fin_pending",
+        "_fin_sent",
+        "_fin_seq",
+        "irs",
+        "rcv_nxt",
+        "_ooo",
+        "_segs_since_ack",
+        "cwnd",
+        "ssthresh",
+        "_dupacks",
+        "_in_fast_recovery",
+        "_recover",
+        "srtt",
+        "rttvar",
+        "rto",
+        "_rtt_seq",
+        "_rtt_time",
+        "_rtx_timer",
+        "_delack_timer",
+        "_rtx_deadline",
+        "_delack_deadline",
+        "_keepalive_timer",
+        "_time_wait_timer",
+        "keepalive_interval",
+        "time_wait_seconds",
+        "max_syn_retries",
+        "max_data_retries",
+        "_retries",
+        "on_established",
+        "on_data",
+        "on_close",
+        "on_icmp_error",
+        "pmtu_reductions",
+        "bytes_sent",
+        "bytes_received",
+        "segments_sent",
+        "segments_received",
+        "retransmitted_segments",
+        "first_data_rx",
+        "last_data_rx",
+    )
+
     def __init__(
         self,
         manager: "TcpManager",
@@ -165,9 +227,15 @@ class TcpConnection:
         self._rtt_seq: Optional[int] = None
         self._rtt_time = 0.0
 
-        # Timers.
-        self._rtx_timer = self.sim.timer(self._on_rtx_timeout)
-        self._delack_timer = self.sim.timer(self._send_ack)
+        # Timers.  Retransmission and delayed-ACK re-arm on (nearly) every
+        # segment, so both run through a lazy deadline field: the hot path
+        # records the exact instant a ``restart`` would have armed and the
+        # already-queued (stale) heap entry chases it when it fires.  The
+        # wrapper callbacks below are the chase logic.
+        self._rtx_timer = self.sim.timer(self._rtx_fire)
+        self._delack_timer = self.sim.timer(self._delack_fire)
+        self._rtx_deadline: Optional[float] = None
+        self._delack_deadline: Optional[float] = None
         self._keepalive_timer = self.sim.timer(self._on_keepalive)
         self._time_wait_timer = self.sim.timer(self._on_time_wait_done)
         self.keepalive_interval: Optional[float] = None
@@ -290,10 +358,10 @@ class TcpConnection:
             options=options,
         )
         self._emit(segment)
-        self._rtx_timer.restart(self.rto)
+        self._rtx_restart()
 
     def _send_ack(self) -> None:
-        self._delack_timer.cancel()
+        self._delack_cancel()
         self._segs_since_ack = 0
         self._emit(
             TcpSegment(
@@ -374,10 +442,66 @@ class TcpConnection:
             self._send_fin()
             sent_something = True
         if sent_something or self.flight_size() > 0:
-            if not self._rtx_timer.armed:
-                self._rtx_timer.start(self.rto)
+            if self._rtx_deadline is None:
+                self._rtx_restart()
 
     # -- timers ------------------------------------------------------------------
+
+    def _rtx_restart(self) -> None:
+        """``_rtx_timer.restart(self.rto)``, with the heap push elided when
+        an earlier wake-up is already queued (the common per-ACK case)."""
+        sim = self.sim
+        target = sim.now + self.rto
+        self._rtx_deadline = target
+        timer = self._rtx_timer
+        if sim.fastpath and sim.bus is None and timer.armed and timer.deadline <= target:
+            sim.fastpath_events_saved += 1
+            return
+        timer.restart(self.rto)
+
+    def _rtx_cancel(self) -> None:
+        self._rtx_deadline = None
+        sim = self.sim
+        if sim.fastpath and sim.bus is None:
+            return  # the queued entry no-ops on the cleared deadline
+        self._rtx_timer.cancel()
+
+    def _rtx_fire(self) -> None:
+        target = self._rtx_deadline
+        if target is None:
+            return  # lazily cancelled
+        if target > self.sim.now:
+            self._rtx_timer.start_at(target)  # chase the deferred deadline
+            return
+        self._rtx_deadline = None
+        self._on_rtx_timeout()
+
+    def _delack_arm(self) -> None:
+        sim = self.sim
+        target = sim.now + DELACK_TIMEOUT
+        self._delack_deadline = target
+        timer = self._delack_timer
+        if sim.fastpath and sim.bus is None and timer.armed and timer.deadline <= target:
+            sim.fastpath_events_saved += 1
+            return
+        timer.restart(DELACK_TIMEOUT)
+
+    def _delack_cancel(self) -> None:
+        self._delack_deadline = None
+        sim = self.sim
+        if sim.fastpath and sim.bus is None:
+            return
+        self._delack_timer.cancel()
+
+    def _delack_fire(self) -> None:
+        target = self._delack_deadline
+        if target is None:
+            return
+        if target > self.sim.now:
+            self._delack_timer.start_at(target)
+            return
+        self._delack_deadline = None
+        self._send_ack()
 
     def _on_rtx_timeout(self) -> None:
         if self.state == CLOSED:
@@ -411,7 +535,7 @@ class TcpConnection:
         self.rto = min(self.rto * 2, MAX_RTO)
         if self._fin_sent:
             self._retransmit_head()
-            self._rtx_timer.start(self.rto)
+            self._rtx_restart()
             return
         # Classic Reno RTO recovery (go-back-N): everything in flight is
         # presumed lost.  Rewind so slow start governs the resend and every
@@ -422,7 +546,7 @@ class TcpConnection:
         self.retransmitted_segments += 1
         self.snd_nxt = self.snd_una
         self._try_output()
-        self._rtx_timer.restart(self.rto)
+        self._rtx_restart()
 
     def _retransmit_head(self) -> None:
         self.retransmitted_segments += 1
@@ -464,7 +588,7 @@ class TcpConnection:
             self._in_fast_recovery = False
             self._rtt_seq = None
             self._try_output()
-            self._rtx_timer.restart(self.rto)
+            self._rtx_restart()
 
     def _on_keepalive(self) -> None:
         if self.state != ESTABLISHED or self.keepalive_interval is None:
@@ -550,7 +674,7 @@ class TcpConnection:
         self._apply_syn_options(segment)
         self.state = ESTABLISHED
         self._retries = 0
-        self._rtx_timer.cancel()
+        self._rtx_cancel()
         self._send_ack()
         if self.on_established is not None:
             self.on_established(self)
@@ -590,7 +714,7 @@ class TcpConnection:
                 self.state = ESTABLISHED
                 self.snd_una = ack
                 self._retries = 0
-                self._rtx_timer.cancel()
+                self._rtx_cancel()
                 self.peer_window = segment.window
                 listener = self.manager.listeners.get(self.local_port)
                 if listener is not None:
@@ -644,9 +768,9 @@ class TcpConnection:
             else:
                 self.cwnd += max(self.mss * self.mss // self.cwnd, 1)
         if self.flight_size() == 0:
-            self._rtx_timer.cancel()
+            self._rtx_cancel()
         else:
-            self._rtx_timer.restart(self.rto)
+            self._rtx_restart()
         # FIN progress.
         if fin_acked:
             if self.state == FIN_WAIT_1:
@@ -689,8 +813,8 @@ class TcpConnection:
                 self._segs_since_ack += 1
                 if self._ooo or self._segs_since_ack >= 2 or segment.flags & TCP_PSH:
                     self._send_ack()
-                elif not self._delack_timer.armed:
-                    self._delack_timer.start(DELACK_TIMEOUT)
+                elif self._delack_deadline is None:
+                    self._delack_arm()
             elif seq_lt(self.rcv_nxt, seq):
                 if len(self._ooo) < 256:
                     self._ooo.setdefault(seq, payload)
@@ -734,12 +858,15 @@ class TcpConnection:
 
     def _enter_time_wait(self) -> None:
         self.state = TIME_WAIT
+        self._rtx_deadline = None
         self._rtx_timer.cancel()
         self._time_wait_timer.start(self.time_wait_seconds)
 
     def _teardown(self, reason: str) -> None:
         previous = self.state
         self.state = CLOSED
+        self._rtx_deadline = None
+        self._delack_deadline = None
         self._rtx_timer.cancel()
         self._delack_timer.cancel()
         self._keepalive_timer.cancel()

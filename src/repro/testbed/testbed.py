@@ -70,9 +70,17 @@ class Testbed:
             self._add_gateway(number, profile)
 
     @classmethod
-    def build(cls, profiles: Sequence[DeviceProfile], seed: int = 0) -> "Testbed":
-        """Construct the testbed and bring every gateway and client VLAN up."""
-        bed = cls(Simulation(seed=seed), profiles)
+    def build(
+        cls, profiles: Sequence[DeviceProfile], seed: int = 0, fastpath: bool = True
+    ) -> "Testbed":
+        """Construct the testbed and bring every gateway and client VLAN up.
+
+        ``fastpath=False`` pins the whole run — bring-up included — to the
+        staged event engine (the eager kernels' property-test oracle).
+        """
+        sim = Simulation(seed=seed)
+        sim.fastpath = fastpath
+        bed = cls(sim, profiles)
         bed.bring_up()
         return bed
 

@@ -1,0 +1,150 @@
+"""The fast path's contract: byte-identical results, fewer heap events.
+
+The eager kernels (link serialization, forwarding-plane service, lazy NAT
+and TCP timers) claim to execute the *same float arithmetic at the same
+instants* as the staged event engine, eliding only the intermediate heap
+traffic.  These tests hold them to it: campaigns run with ``fastpath`` on
+and off must persist byte-for-byte identical store cells — across paper
+families, seeds, devices with quirky forwarding planes, link impairments,
+``jobs=N``, and the NAT444 topologies.  The staged engine is thereby the
+permanent property-test oracle for the fast path.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.survey import SurveyRunner
+from repro.devices import catalog_profiles
+from repro.netsim.impair import Impairment
+from repro.testbed.testbed import Testbed
+
+#: Small device subset mixing a plain mid-range box (dl1), a shared-queue
+#: weakling whose forwarding plane is *not* eager-capable (ls1), and a
+#: high-rate device (bu1) — the fast path must be right when it engages and
+#: harmless when it cannot.
+TAGS = ("dl1", "ls1", "bu1")
+
+
+def _profiles(tags=TAGS):
+    wanted = set(tags)
+    return [p for p in catalog_profiles() if p.tag in wanted]
+
+
+def _store_bytes(store_dir: pathlib.Path):
+    """Every persisted cell file, as {relative path: bytes}."""
+    cells = {}
+    for path in sorted(store_dir.rglob("*.json")):
+        if path.name == "campaign.json":  # manifest carries no measurements
+            continue
+        cells[str(path.relative_to(store_dir))] = path.read_bytes()
+    assert cells, f"no cells persisted under {store_dir}"
+    return cells
+
+
+def _run_store(tmp_path, name, *, fastpath, families, seed=0, jobs=1, tags=TAGS, **kwargs):
+    store = tmp_path / name
+    runner = SurveyRunner(
+        profiles=_profiles(tags),
+        seed=seed,
+        jobs=jobs,
+        fastpath=fastpath,
+        store_dir=str(store),
+        **kwargs,
+    )
+    results = runner.run(list(families))
+    assert not results.errors, results.errors
+    return _store_bytes(store), results
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_paper_families_cells_identical_across_engines(tmp_path, seed):
+    families = ["tcp2", "tcp4", "udp5"]
+    fast, fast_results = _run_store(
+        tmp_path, f"fast{seed}", fastpath=True, families=families, seed=seed
+    )
+    slow, slow_results = _run_store(
+        tmp_path, f"slow{seed}", fastpath=False, families=families, seed=seed
+    )
+    assert fast == slow
+    # The fast path actually engaged (else this test proves nothing) and
+    # the staged oracle ran clean.
+    assert fast_results.stats.fastpath_events_saved > 0
+    assert slow_results.stats.fastpath_events_saved == 0
+    # Fewer heap events for the same measurements is the whole point.
+    assert fast_results.stats.events_processed < slow_results.stats.events_processed
+
+
+def test_impaired_links_fall_back_identically(tmp_path):
+    impairment = Impairment(loss=0.02, dup=0.005, reorder=0.0005)
+    fast, _ = _run_store(
+        tmp_path, "fast", fastpath=True, families=["tcp2"], tags=("dl1",),
+        impairment=impairment,
+    )
+    slow, _ = _run_store(
+        tmp_path, "slow", fastpath=False, families=["tcp2"], tags=("dl1",),
+        impairment=impairment,
+    )
+    assert fast == slow
+
+
+def test_jobs_sharding_preserves_fastpath_determinism(tmp_path):
+    serial, _ = _run_store(tmp_path, "serial", fastpath=True, families=["udp5", "tcp2"], jobs=1)
+    parallel, _ = _run_store(tmp_path, "parallel", fastpath=True, families=["udp5", "tcp2"], jobs=2)
+    assert serial == parallel
+
+
+def test_cgn_families_cells_identical_across_engines(tmp_path):
+    fast, _ = _run_store(
+        tmp_path, "fast", fastpath=True, families=["cgn_timeouts"], tags=("dl1", "bu1"),
+        cgn_subscribers=4,
+    )
+    slow, _ = _run_store(
+        tmp_path, "slow", fastpath=False, families=["cgn_timeouts"], tags=("dl1", "bu1"),
+        cgn_subscribers=4,
+    )
+    assert fast == slow
+
+
+def test_fault_campaigns_pin_the_staged_engine(tmp_path):
+    from repro.gateway.faults import FaultSpec
+
+    runner = SurveyRunner(
+        profiles=_profiles(("dl1",)),
+        fastpath=True,
+        faults=[FaultSpec(at=5.0, boot=2.0, device="dl1")],
+    )
+    bed = runner._fresh_testbed()
+    # A crash flush cannot unwind eagerly-consumed rate tokens, so chaos
+    # campaigns must run every packet through the staged engine.
+    assert bed.sim.fastpath is False
+
+
+def test_fastpath_counters_account_for_elided_work():
+    profile = _profiles(("dl1",))
+    bed = Testbed.build(profile, seed=0)
+    assert bed.sim.fastpath is True
+    from repro.core.throughput import ThroughputProbe
+
+    ThroughputProbe(transfer_bytes=128 * 1024).run_all(bed)
+    assert bed.sim.fastpath_events_saved > 0
+    assert bed.sim.fastpath_windows > 0
+    assert bed.sim.segments_modeled == bed.sim.events_processed + bed.sim.fastpath_events_saved
+
+
+def test_no_fastpath_cli_flag_runs_the_staged_engine(capsys):
+    from repro import cli
+
+    code = cli.main(
+        ["bench", "--tests", "udp1", "--tags", "dl1", "--no-fastpath", "--repetitions", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fastpath saved: 0 events in 0 windows" in out
+
+    code = cli.main(["bench", "--tests", "udp1", "--tags", "dl1", "--repetitions", "1"])
+    fast_out = capsys.readouterr().out
+    assert code == 0
+    assert "fastpath saved: 0 events" not in fast_out

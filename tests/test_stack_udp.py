@@ -61,7 +61,7 @@ class TestNeighborLearning:
         sock_a.send_to(b"x", IPv4Address("10.0.0.2"), 9)
         a.sim.run()
         # b learned a's mac from the broadcast; a learns when b replies.
-        assert (0, IPv4Address("10.0.0.1")) in b.neighbors
+        assert (0, int(IPv4Address("10.0.0.1"))) in b.neighbors
 
     def test_interface_mismatch_frame_dropped(self, host_pair):
         a, b = host_pair

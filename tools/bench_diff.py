@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and report the perf trajectory.
+
+Usage::
+
+    python tools/bench_diff.py BASELINE.json CURRENT.json [--max-slowdown 1.25]
+
+Works on both snapshot shapes the repo produces: campaign dumps
+(``BENCH_survey.json``, counters nested under ``"stats"``) and the core
+microbench (``BENCH_core.json``, flat).  Prints per-family wall-clock and
+throughput ratios, and exits non-zero when any family slowed down by more
+than ``--max-slowdown`` — CI runs it ``continue-on-error``, so a regression
+warns on the PR without blocking the merge.
+
+A config-hash mismatch between the snapshots is reported but is not an
+error: cross-config comparisons are still useful for eyeballing, just not
+for the pass/fail verdict (which is skipped in that case).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, Optional, Tuple
+
+
+def load_snapshot(path: pathlib.Path) -> Dict[str, Any]:
+    """Normalize either snapshot shape to one flat comparison record."""
+    payload = json.loads(path.read_text())
+    stats = payload.get("stats", payload)  # survey dumps nest, core is flat
+    wall = stats.get("wall_seconds", stats.get("wall_seconds_mean"))
+    return {
+        "path": str(path),
+        "config_hash": payload.get("config_hash"),
+        "events_per_sec": stats.get("events_per_sec"),
+        "events_processed": stats.get("events_processed"),
+        "segments_modeled": stats.get("segments_modeled"),
+        "fastpath_events_saved": stats.get("fastpath_events_saved", 0),
+        "wall_seconds": wall,
+        "family_wall": stats.get("family_wall", {}),
+        "family_events": stats.get("family_events", {}),
+    }
+
+
+def _ratio(old: Optional[float], new: Optional[float]) -> Optional[float]:
+    if not old or new is None:
+        return None
+    return new / old
+
+
+def _fmt(value: Optional[float], suffix: str = "") -> str:
+    return "-" if value is None else f"{value:.2f}{suffix}"
+
+
+def diff(base: Dict[str, Any], current: Dict[str, Any], max_slowdown: float) -> Tuple[str, int]:
+    """Render the comparison; returns (report, exit_code)."""
+    lines = [f"baseline: {base['path']}", f"current:  {current['path']}"]
+    comparable = base["config_hash"] == current["config_hash"]
+    if not comparable:
+        lines.append(
+            f"note: config hashes differ ({base['config_hash']} vs "
+            f"{current['config_hash']}); regression gate skipped"
+        )
+    lines.append("")
+    header = f"{'family':>14}  {'base wall':>10}  {'cur wall':>10}  {'ratio':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    regressions = []
+    families = sorted(set(base["family_wall"]) | set(current["family_wall"]))
+    for family in families:
+        old = base["family_wall"].get(family)
+        new = current["family_wall"].get(family)
+        ratio = _ratio(old, new)
+        marker = ""
+        if comparable and ratio is not None and ratio > max_slowdown:
+            regressions.append((family, ratio))
+            marker = "  <-- regression"
+        lines.append(
+            f"{family:>14}  {_fmt(old, 's'):>10}  {_fmt(new, 's'):>10}  "
+            f"{_fmt(ratio):>7}{marker}"
+        )
+    total_ratio = _ratio(base["wall_seconds"], current["wall_seconds"])
+    if comparable and total_ratio is not None and total_ratio > max_slowdown:
+        regressions.append(("total", total_ratio))
+    lines.append("")
+    lines.append(
+        f"total wall: {_fmt(base['wall_seconds'], 's')} -> "
+        f"{_fmt(current['wall_seconds'], 's')} ({_fmt(total_ratio)}x)"
+    )
+    eps_ratio = _ratio(base["events_per_sec"], current["events_per_sec"])
+    lines.append(
+        f"events/sec: {_fmt(base['events_per_sec'])} -> "
+        f"{_fmt(current['events_per_sec'])} ({_fmt(eps_ratio)}x)"
+    )
+    if current.get("fastpath_events_saved"):
+        lines.append(
+            f"fast path: {current['fastpath_events_saved']} events elided "
+            f"({current['events_processed']} processed, "
+            f"{current['segments_modeled']} segments modeled)"
+        )
+    if regressions:
+        worst = ", ".join(f"{family} {ratio:.2f}x" for family, ratio in regressions)
+        lines.append(f"\nFAIL: slowdown beyond {max_slowdown:.2f}x in: {worst}")
+        return "\n".join(lines), 1
+    return "\n".join(lines), 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--max-slowdown", type=float, default=1.25,
+                        help="per-family wall-clock ratio that counts as a "
+                        "regression (default: 1.25)")
+    args = parser.parse_args(argv)
+    report, code = diff(
+        load_snapshot(args.baseline), load_snapshot(args.current), args.max_slowdown
+    )
+    print(report)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
