@@ -1,0 +1,14 @@
+"""The adversarial tier: a deterministic attacker and the ReDAN families.
+
+``repro.attack`` turns the mechanisms the paper measures cooperatively —
+binding timeouts, port allocation, filtering, RST handling — into the
+attack surface ReDAN showed they are.  :class:`~repro.attack.node.AttackerNode`
+crafts raw packets (no sockets, no retransmission, no RNG); the three
+``attack_*`` experiment families in :mod:`repro.attack.families` drive it
+against NAT444 segments and measure what happens to the *innocent*
+subscribers sharing the gateway and the CGN.
+"""
+
+from repro.attack.node import AttackerNode
+
+__all__ = ["AttackerNode"]

@@ -1,0 +1,132 @@
+"""The deterministic attacker: raw packet injection from one host interface.
+
+An :class:`AttackerNode` is *not* a protocol stack.  It never opens
+sockets, never retransmits, never listens for replies, and draws nothing
+from any RNG — every packet it emits (contents and send instant) is a pure
+function of the caller's arguments, which is what keeps the attack
+families inside the campaign's determinism contract (``jobs=N ≡ jobs=1``,
+resume byte-identity, staged-engine parity).
+
+Three primitives cover the ReDAN attack classes:
+
+* :meth:`AttackerNode.send_udp` / :meth:`AttackerNode.send_syn` — the
+  binding-exhaustion flood: distinct source ports open distinct bindings
+  at every NAT tier on the path until a table or port pool refuses.
+* :meth:`AttackerNode.send_udp` with a forged source — the spoofed
+  keepalive: an off-path attacker claiming a victim's remote endpoint
+  refreshes (or state-shifts) the victim's bindings from outside.
+* :meth:`AttackerNode.send_rst` — the off-path RST teardown: NATs with
+  ``rst_clears`` drop the binding on *any* RST, while endpoints apply the
+  RFC 793 sequence window — the asymmetry the attack exploits.
+
+The flood variant needs one piece of real-attacker tradecraft modeled:
+a raw-socket attacker firewalls the RSTs its own kernel would send in
+response to unexpected SYN|ACKs (otherwise those RSTs tear down the very
+bindings the flood opened).  :meth:`AttackerNode.shield` installs that
+firewall via the host stack's interceptor hook.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+from typing import Callable, Optional
+
+from repro.packets.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.packets.tcp import TCP_RST, TCP_SYN, TcpSegment
+from repro.packets.udp import UdpDatagram
+from repro.protocols.stack import Host
+
+__all__ = ["AttackerNode"]
+
+#: Payload of every attack datagram: 8 zero bytes, so a flood packet that
+#: reaches a measurement responder parses as flow id 0 — an id the probes
+#: never allocate — and is ignored instead of answered.
+ATTACK_PAYLOAD = b"\x00" * 8
+
+
+class AttackerNode:
+    """Crafts and injects attack packets from one interface of ``host``.
+
+    The node rides an existing :class:`~repro.protocols.stack.Host` — a
+    compromised client in a subscriber home (the on-path flood position)
+    or the far side of the WAN (the off-path spoofing position).  Sending
+    goes through :meth:`Host.send_ip_routed`, so LAN injections follow the
+    interface's DHCP-learned gateway exactly like legitimate traffic.
+    """
+
+    def __init__(self, host: Host, iface_index: int, label: str = "attacker"):
+        self.host = host
+        self.iface_index = iface_index
+        self.label = label
+        self.packets_sent = 0
+        self.udp_sent = 0
+        self.syn_sent = 0
+        self.rst_sent = 0
+        self._unshield: Optional[Callable[[], None]] = None
+
+    # -- primitives --------------------------------------------------------
+
+    def send_udp(
+        self,
+        src: IPv4Address,
+        src_port: int,
+        dst: IPv4Address,
+        dst_port: int,
+        payload: bytes = ATTACK_PAYLOAD,
+    ) -> None:
+        """Inject one UDP datagram (source fields entirely caller-chosen)."""
+        self._send(IPv4Packet(src, dst, PROTO_UDP, UdpDatagram(src_port, dst_port, payload)))
+        self.udp_sent += 1
+
+    def send_syn(self, src: IPv4Address, src_port: int, dst: IPv4Address, dst_port: int, seq: int = 0) -> None:
+        """Inject one bare SYN — opens a transitory TCP binding per NAT tier."""
+        self._send(IPv4Packet(src, dst, PROTO_TCP, TcpSegment(src_port, dst_port, seq=seq, flags=TCP_SYN)))
+        self.syn_sent += 1
+
+    def send_rst(self, src: IPv4Address, src_port: int, dst: IPv4Address, dst_port: int, seq: int = 0) -> None:
+        """Inject one forged RST (``seq`` is the attacker's blind guess)."""
+        self._send(IPv4Packet(src, dst, PROTO_TCP, TcpSegment(src_port, dst_port, seq=seq, flags=TCP_RST)))
+        self.rst_sent += 1
+
+    def _send(self, packet: IPv4Packet) -> None:
+        self.host.send_ip_routed(packet, self.iface_index)
+        self.packets_sent += 1
+        self._emit("attack.packet", proto="udp" if packet.protocol == PROTO_UDP else "tcp")
+
+    def _emit(self, event: str, **fields) -> None:
+        bus = self.host.sim.bus
+        if bus is not None:
+            bus.emit(event, attacker=self.label, **fields)
+
+    # -- the raw-socket firewall ------------------------------------------
+
+    def shield(self, port_lo: int, port_hi: int) -> None:
+        """Silently swallow inbound responses to flood flows.
+
+        A real flooding attacker sends from a raw socket and firewalls the
+        SYN|ACKs/RSTs the network sends back — its own kernel would
+        otherwise answer with RSTs that clear the flood's freshly opened
+        bindings (``rst_clears`` is near-universal in the catalog).  The
+        shield intercepts inbound packets on the attacker's interface whose
+        destination port falls in ``[port_lo, port_hi)`` — the flood's
+        source-port range — before the host stack can react to them.
+        """
+        if self._unshield is not None:
+            return
+
+        iface_index = self.iface_index
+
+        def intercept(packet, iface) -> bool:
+            if iface.index != iface_index:
+                return False
+            dst_port = getattr(packet.payload, "dst_port", None)
+            return dst_port is not None and port_lo <= dst_port < port_hi
+
+        self._unshield = self.host.install_intercept(intercept)
+        self._emit("attack.shield", lo=port_lo, hi=port_hi)
+
+    def unshield(self) -> None:
+        """Remove the shield (the families detach it when their run ends)."""
+        if self._unshield is not None:
+            self._unshield()
+            self._unshield = None

@@ -64,6 +64,9 @@ PROBE_CHOICES = tuple(
 #: The families ``--cgn`` adds to (or selects for) a campaign.
 CGN_FAMILIES = ("cgn_timeouts", "cgn_exhaustion")
 
+#: The families ``--attack`` adds to (or selects for) a campaign.
+ATTACK_FAMILIES = ("attack_portflood", "attack_keepalive", "attack_rst")
+
 #: Per-command fallbacks when neither ``--tests`` nor ``--families`` nor
 #: ``--cgn`` picked anything.  Kept out of argparse defaults so the commands
 #: can tell "user chose these" from "nothing chosen".
@@ -130,18 +133,24 @@ def _family_selection(args) -> Optional[List[str]]:
 
 
 def _cgn_selection(args, base: Optional[List[str]], default: List[str]) -> List[str]:
-    """Fold ``--cgn`` into a family selection.
+    """Fold ``--cgn`` and ``--attack`` into a family selection.
 
-    With an explicit ``--tests``/``--families`` selection the CGN families
-    are appended; with none, ``--cgn`` alone means "the NAT444 campaign"
-    (just the CGN pair, not the CGN pair plus the command's default menu).
-    Without ``--cgn`` the command's own ``default`` fills in.
+    With an explicit ``--tests``/``--families`` selection the opt-in
+    families are appended; with none, ``--cgn``/``--attack`` alone means
+    "that campaign" (just those families, not them plus the command's
+    default menu).  With neither flag the command's own ``default`` fills
+    in.
     """
-    if not getattr(args, "cgn", False):
+    extra: List[str] = []
+    if getattr(args, "cgn", False):
+        extra.extend(CGN_FAMILIES)
+    if getattr(args, "attack", False):
+        extra.extend(ATTACK_FAMILIES)
+    if not extra:
         return base if base is not None else list(default)
     if base is None:
-        return list(CGN_FAMILIES)
-    return base + [name for name in CGN_FAMILIES if name not in base]
+        return extra
+    return base + [name for name in extra if name not in base]
 
 
 def _run_probe(
@@ -264,7 +273,7 @@ def cmd_probe(args, out) -> int:
 
 def cmd_survey(args, out) -> int:
     tags = _resolve_tags(args.tags)
-    if args.families or args.cgn or args.out or args.resume or args.jobs > 1:
+    if args.families or args.cgn or args.attack or args.out or args.resume or args.jobs > 1:
         return _run_campaign_survey(args, tags, out)
     csv_dir = pathlib.Path(args.csv_dir) if args.csv_dir else None
     if csv_dir:
@@ -299,6 +308,8 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
         udp_repetitions=args.repetitions,
         cgn_subscribers=args.subscribers,
         cgn_block_size=args.block_size,
+        attack_rate=args.attack_rate,
+        attack_duration=args.attack_duration,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         trace_dir=args.trace,
@@ -376,6 +387,8 @@ def cmd_report(args, out) -> int:
         udp5_repetitions=1,
         cgn_subscribers=args.subscribers,
         cgn_block_size=args.block_size,
+        attack_rate=args.attack_rate,
+        attack_duration=args.attack_duration,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         impairment=impairment,
@@ -418,6 +431,8 @@ def cmd_bench(args, out) -> int:
         transfer_bytes=args.transfer_bytes,
         cgn_subscribers=args.subscribers,
         cgn_block_size=args.block_size,
+        attack_rate=args.attack_rate,
+        attack_duration=args.attack_duration,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         impairment=impairment,
@@ -464,6 +479,8 @@ def cmd_bench(args, out) -> int:
                 "faults": [fault.describe() for fault in faults],
                 "cgn_subscribers": args.subscribers,
                 "cgn_block_size": args.block_size,
+                "attack_rate": args.attack_rate,
+                "attack_duration": args.attack_duration,
                 "fastpath": not args.no_fastpath,
             },
             "elapsed_wall_seconds": round(runner.last_elapsed, 3),
@@ -547,7 +564,7 @@ def cmd_compliance(args, out) -> int:
 
 
 def _add_cgn_flags(parser: argparse.ArgumentParser) -> None:
-    """The NAT444 campaign flags shared by survey/report/bench."""
+    """The NAT444 + adversarial campaign flags shared by survey/report/bench."""
     parser.add_argument("--cgn", action="store_true",
                         help="run the NAT444 families (cgn_timeouts, cgn_exhaustion) "
                         "behind a carrier-grade NAT; appends to --families if given")
@@ -555,6 +572,14 @@ def _add_cgn_flags(parser: argparse.ArgumentParser) -> None:
                         help="home gateways behind each CGN (default: 8)")
     parser.add_argument("--block-size", type=int, default=16, dest="block_size",
                         help="external ports per CGN allocation block (default: 16)")
+    parser.add_argument("--attack", action="store_true",
+                        help="run the adversarial NAT-abuse families (attack_portflood, "
+                        "attack_keepalive, attack_rst) through the NAT444 chain; "
+                        "appends to --families if given")
+    parser.add_argument("--attack-rate", type=float, default=50.0, dest="attack_rate",
+                        help="attacker packet rate in pkt/s (default: 50)")
+    parser.add_argument("--attack-duration", type=float, default=20.0, dest="attack_duration",
+                        help="flood duration in seconds (default: 20)")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:

@@ -61,6 +61,7 @@ FAMILY_MODULES = (
     "repro.core.transport_support",
     "repro.core.dns_tests",
     "repro.cgn.families",
+    "repro.attack.families",
 )
 
 

@@ -55,7 +55,10 @@ __all__ = [
 #: v2: CGN knobs (``cgn_subscribers``/``cgn_block_size``) joined the
 #: campaign fingerprint and the ``cgn_timeouts``/``cgn_exhaustion`` cell
 #: codecs were added.
-SCHEMA_VERSION = 2
+#: v3: adversarial knobs (``attack_rate``/``attack_duration``) joined the
+#: campaign fingerprint, the three ``attack_*`` cell codecs were added,
+#: and the NAT engine's refusal accounting went per-protocol.
+SCHEMA_VERSION = 3
 
 
 class StoreError(RuntimeError):

@@ -180,6 +180,8 @@ class SurveyRunner:
         transfer_bytes: int = 2 * 1024 * 1024,
         cgn_subscribers: int = 8,
         cgn_block_size: int = 16,
+        attack_rate: float = 50.0,
+        attack_duration: float = 20.0,
         jobs: int = 1,
         fastpath: bool = True,
         impairment: Optional[Impairment] = None,
@@ -206,6 +208,10 @@ class SurveyRunner:
         #: each carrier-grade NAT, and external ports per allocated block.
         self.cgn_subscribers = cgn_subscribers
         self.cgn_block_size = cgn_block_size
+        #: Adversarial-tier knobs (the ``attack_*`` families): attacker
+        #: packet rate [pkt/s] and flood duration [s].
+        self.attack_rate = float(attack_rate)
+        self.attack_duration = float(attack_duration)
         self.jobs = max(1, int(jobs))
         #: Run the eager event-elision kernels (``--no-fastpath`` clears it).
         #: Results are engine-independent by construction, so this knob is
@@ -249,6 +255,8 @@ class SurveyRunner:
             "transfer_bytes": self.transfer_bytes,
             "cgn_subscribers": self.cgn_subscribers,
             "cgn_block_size": self.cgn_block_size,
+            "attack_rate": self.attack_rate,
+            "attack_duration": self.attack_duration,
         }
 
     def fingerprint(self) -> str:
@@ -294,6 +302,8 @@ class SurveyRunner:
             "transfer_bytes": self.transfer_bytes,
             "cgn_subscribers": self.cgn_subscribers,
             "cgn_block_size": self.cgn_block_size,
+            "attack_rate": self.attack_rate,
+            "attack_duration": self.attack_duration,
             "fastpath": self.fastpath,
             "impairment": self.impairment,
             "faults": self.faults,

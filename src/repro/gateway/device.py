@@ -335,7 +335,9 @@ class HomeGateway(Host):
             self.dropped_no_binding += 1
             # The engine says precisely *why* it refused (table_full,
             # rate_limited, port_exhausted); attribute the drop to that.
-            self._trace_drop(self.nat.last_refusal or "no_binding")
+            # Per-protocol lookup: a concurrent flood on the other protocol
+            # must not relabel this packet's refusal cause.
+            self._trace_drop(self.nat.refusal_cause(proto) or "no_binding")
             return
         rewrite_source(packet, self.wan_ip, binding.ext_port)
         self.nat.note_outbound(binding)
@@ -387,7 +389,7 @@ class HomeGateway(Host):
         )
         if out_binding is None:
             self.dropped_no_binding += 1
-            self._trace_drop(self.nat.last_refusal or "no_binding")
+            self._trace_drop(self.nat.refusal_cause(proto) or "no_binding")
             return
         hairpinned = clone_packet(packet)
         rewrite_source(hairpinned, self.wan_ip, out_binding.ext_port)

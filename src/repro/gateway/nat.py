@@ -64,6 +64,7 @@ class Binding:
         "int_port",
         "ext_port",
         "remote",
+        "gen",
         "state",
         "tcp_state",
         "fin_seen_out",
@@ -83,6 +84,10 @@ class Binding:
         self.int_port = int_port
         self.ext_port = ext_port
         self.remote = remote
+        #: Engine-wide creation ordinal.  Expiry timers carry it so a timer
+        #: armed for a torn-down binding can never expire a *new* binding
+        #: that re-used the same mapping key (RST teardown + instant rebind).
+        self.gen = 0
         self.state = STATE_OUTBOUND_ONLY
         self.tcp_state = TCP_TRANSITORY
         self.fin_seen_out = False
@@ -137,11 +142,20 @@ class NatEngine:
         self.bindings_refused = 0
         self.bindings_flushed = 0
         self.inbound_filtered = 0
-        self.bindings_port_exhausted = 0
-        #: Cause of the most recent :meth:`lookup_or_create` refusal
-        #: (``"table_full"``, ``"rate_limited"``, ``"port_exhausted"``), or
-        #: ``None`` when the last call succeeded.  The gateway's drop path
-        #: reads this to attribute the packet loss precisely.
+        #: Creation ordinal stamped onto every binding (see
+        #: :attr:`Binding.gen`); monotonically increasing, never reset.
+        self._binding_gen = 0
+        #: Port-pool refusals, per protocol.  Kept separately so a TCP SYN
+        #: flood draining the TCP pool cannot mask (or inflate) the UDP
+        #: exhaustion signal — the two pools are independent resources.
+        self._port_exhausted: Dict[str, int] = {"udp": 0, "tcp": 0}
+        #: Cause of the most recent :meth:`lookup_or_create` refusal, per
+        #: protocol (``"table_full"``, ``"rate_limited"``,
+        #: ``"port_exhausted"``), or ``None`` when that protocol's last call
+        #: succeeded.  The gateway's drop paths read this through
+        #: :meth:`refusal_cause` to attribute each packet loss precisely.
+        self._last_refusal: Dict[str, Optional[str]] = {"udp": None, "tcp": None}
+        #: Back-compat view: the most recent refusal cause across protocols.
         self.last_refusal: Optional[str] = None
         #: Optional hook: ports the gateway's own services own and the NAT
         #: must never hand out (e.g. the DNS proxy's upstream sockets).
@@ -166,6 +180,20 @@ class NatEngine:
         if proto is None:
             return len(self._by_mapping)
         return sum(1 for binding in self._by_mapping.values() if binding.proto == proto)
+
+    @property
+    def bindings_port_exhausted(self) -> int:
+        """Port-pool refusals across both protocols (sum of the per-proto
+        counters; see :meth:`port_exhausted_for`)."""
+        return self._port_exhausted["udp"] + self._port_exhausted["tcp"]
+
+    def port_exhausted_for(self, proto: str) -> int:
+        """Port-pool refusals of ``proto`` bindings alone."""
+        return self._port_exhausted[proto]
+
+    def refusal_cause(self, proto: str) -> Optional[str]:
+        """Cause of the most recent refusal *for this protocol* (or None)."""
+        return self._last_refusal[proto]
 
     def find_by_external(self, proto: str, ext_port: int) -> Optional[Binding]:
         return self._by_external.get((proto, ext_port))
@@ -260,6 +288,7 @@ class NatEngine:
     ) -> Optional[Binding]:
         """Outbound packet path: find the flow's binding or create one."""
         self.last_refusal = None
+        self._last_refusal[proto] = None
         key = self._mapping_key(proto, int_ip, int_port, remote)
         binding = self._by_mapping.get(key)
         if binding is not None:
@@ -268,17 +297,13 @@ class NatEngine:
         bus = self.sim.bus
         if self.binding_count(proto) >= self._max_bindings(proto):
             self.bindings_refused += 1
-            self.last_refusal = "table_full"
-            if bus is not None:
-                bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause="table_full")
+            self._refuse(proto, "table_full", bus)
             return None
         if self._rate_bucket is not None and not self._rate_bucket.try_consume(self.sim.now, 1):
             # Session-table CPU saturated: the packet that would have opened
             # the binding is dropped (clients retry and usually succeed).
             self.bindings_rate_refused += 1
-            self.last_refusal = "rate_limited"
-            if bus is not None:
-                bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause="rate_limited")
+            self._refuse(proto, "rate_limited", bus)
             return None
         try:
             ext_port = self._choose_external_port(proto, int_ip, int_port, remote)
@@ -286,18 +311,18 @@ class NatEngine:
             # Deterministic drop-with-cause: an exhausted pool refuses the
             # binding the same way a full session table does, rather than
             # blowing up the shard that happened to send one packet too many.
-            self.bindings_port_exhausted += 1
-            self.last_refusal = "port_exhausted"
-            if bus is not None:
-                bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause="port_exhausted")
+            self._port_exhausted[proto] += 1
+            self._refuse(proto, "port_exhausted", bus)
             return None
         binding = Binding(proto, int_ip, int_port, ext_port, remote)
         binding.created_at = self.sim.now
         binding.last_activity = self.sim.now
+        self._binding_gen += 1
+        binding.gen = self._binding_gen
         self._by_mapping[key] = binding
         self._by_external[(proto, ext_port)] = binding
         self._used_ports[proto].add(ext_port)
-        binding.timer = self.sim.timer(self._expire, key)
+        binding.timer = self.sim.timer(self._expire, key, binding.gen)
         self.bindings_created += 1
         if bus is not None:
             # Port allocation is part of the bind event: ext_port vs int_port
@@ -315,9 +340,21 @@ class NatEngine:
             )
         return binding
 
-    def _expire(self, key: tuple) -> None:
+    def _refuse(self, proto: str, cause: str, bus) -> None:
+        """Record a :meth:`lookup_or_create` refusal and publish it."""
+        self.last_refusal = cause
+        self._last_refusal[proto] = cause
+        if bus is not None:
+            bus.emit("nat.refused", dev=self.profile.tag, proto=proto, cause=cause)
+
+    def _expire(self, key: tuple, gen: int) -> None:
         binding = self._by_mapping.get(key)
-        if binding is None:
+        if binding is None or binding.gen != gen:
+            # Stale wake-up: the binding this timer was armed for was torn
+            # down (RST teardown, crash flush, explicit remove) and the key
+            # re-bound since.  The new binding owns its own timer; letting
+            # the old one proceed would hand its deadline — or worse, its
+            # lazy-deadline chase — to a binding it never belonged to.
             return
         target = binding.lazy_deadline
         if target is not None:

@@ -153,9 +153,15 @@ class LinkEndpoint:
         if entry is None:
             return  # voided by a crash flush while still queued
         link = self.link
-        if link.broken and entry[1] >= link._broken_at:
+        done = entry[1]
+        if (link.broken and done >= link._broken_at) or (
+            link._outages and link._severed_at(done)
+        ):
             # The cable was cut before this frame finished serializing; the
-            # staged engine drops it at its serialization-done event.
+            # staged engine drops it at its serialization-done event.  The
+            # closed-outage check covers a sever()+mend() cycle that both
+            # happened before this (later) delivery event fired — the wire
+            # was down at the instant the frame would have left it.
             self.frames_dropped += 1
             bus = link.sim.bus
             if bus is not None:
@@ -260,6 +266,11 @@ class Link:
         #: serialization finished after this drop, like the staged engine's
         #: broken check at transmission-done.
         self._broken_at = 0.0
+        #: Closed ``[sever, mend)`` windows.  An eager delivery event fires
+        #: ``delay`` after its serialization-done instant, so an outage that
+        #: opened *and* closed in between leaves ``broken`` False by the time
+        #: the event runs — these windows are how it still sees the cut.
+        self._outages: list = []
         self.frames_carried = 0
         self.impairer: Optional[LinkImpairer] = None
         #: Observability label (``"<device>:<role>"`` in the testbed); names
@@ -287,14 +298,31 @@ class Link:
         an outage would burst out on :meth:`mend`, which no unplugged cable
         ever does.
         """
+        if not self.broken:
+            # Re-severing an already-cut cable must not move the outage
+            # start forward (it would wrongly spare frames cut earlier).
+            self._broken_at = self.sim.now
         self.broken = True
-        self._broken_at = self.sim.now
         for endpoint in (self.endpoint_a, self.endpoint_b):
             if endpoint is not None:
                 endpoint.flush()
 
     def mend(self) -> None:
+        if self.broken:
+            self._outages.append((self._broken_at, self.sim.now))
         self.broken = False
+
+    def _severed_at(self, instant: float) -> bool:
+        """True when ``instant`` fell inside a closed sever..mend window.
+
+        Half-open ``[sever, mend)``: the staged engine's broken check at a
+        serialization-done event scheduled for the mend instant itself runs
+        after ``mend()`` (scheduled earlier) has cleared ``broken``.
+        """
+        for start, end in self._outages:
+            if start <= instant < end:
+                return True
+        return False
 
     def impair(self, config: Impairment, rng: Optional[random.Random] = None) -> "Link":
         """Install an impairment stage on this link's delivery path.

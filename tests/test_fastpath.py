@@ -148,3 +148,103 @@ def test_no_fastpath_cli_flag_runs_the_staged_engine(capsys):
     fast_out = capsys.readouterr().out
     assert code == 0
     assert "fastpath saved: 0 events" not in fast_out
+
+
+# ---------------------------------------------------------------------------
+# Mid-flight sever/mend: the eager delivery event vs. closed outage windows.
+# ---------------------------------------------------------------------------
+
+from repro.netsim import Link, Node, Simulation, mac_allocator  # noqa: E402
+from repro.packets import EthernetFrame  # noqa: E402
+
+
+class _Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive_frame(self, iface, frame):
+        self.received.append((self.sim.now, frame))
+
+
+def _host_pair(fastpath: bool):
+    sim = Simulation(seed=7)
+    sim.fastpath = fastpath
+    macs = mac_allocator()
+    a, b = _Sink(sim, "a"), _Sink(sim, "b")
+    ia, ib = a.add_interface(next(macs)), b.add_interface(next(macs))
+    link = Link(sim, rate_bps=100e6, delay=1e-3).attach(ia, ib)
+    return sim, a, b, ia, ib, link
+
+
+def _flight_scenario(fastpath: bool, sever_at: float, mend_at: float | None):
+    """One frame in flight; the link flaps at the given instants.
+
+    With rate 100 Mb/s and a 1000-byte payload, serialization finishes at
+    ~81 µs and delivery is due at ~1.081 ms — the flap instants are chosen
+    relative to those two anchors by the callers.
+    """
+    sim, _a, b, ia, ib, link = _host_pair(fastpath)
+    ia.transmit(EthernetFrame(ib.mac, ia.mac, b"x" * 1000))
+    sim.schedule_at(sever_at, link.sever)
+    if mend_at is not None:
+        sim.schedule_at(mend_at, link.mend)
+    sim.run()
+    return b.received, link
+
+
+def _dropped(link):
+    return link.endpoint_a.frames_dropped + link.endpoint_b.frames_dropped
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_outage_closed_before_delivery_still_drops(fastpath):
+    # Severed during serialization, mended *before* the delivery event is
+    # due: the staged engine dropped this frame at serialization-done, so
+    # the eager engine must too — the delivery event cannot trust
+    # ``link.broken`` alone at fire time.
+    received, link = _flight_scenario(fastpath, sever_at=5e-5, mend_at=5e-4)
+    assert received == []
+    assert _dropped(link) == 1
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_sever_after_serialization_done_spares_the_frame(fastpath):
+    # The cut lands while the frame is already past the serialization
+    # instant: both engines deliver (propagation is not interruptible).
+    received, _link = _flight_scenario(fastpath, sever_at=5e-4, mend_at=None)
+    assert len(received) == 1
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_still_broken_at_delivery_time_drops(fastpath):
+    received, link = _flight_scenario(fastpath, sever_at=5e-5, mend_at=None)
+    assert received == []
+    assert _dropped(link) == 1
+
+
+def test_re_sever_does_not_move_the_outage_start_forward():
+    # sever() on an already-broken link must keep the original outage
+    # start, or a frame whose serialization finished inside the first cut
+    # would be wrongly spared.
+    sim, _a, b, ia, ib, link = _host_pair(True)
+    ia.transmit(EthernetFrame(ib.mac, ia.mac, b"x" * 1000))
+    sim.schedule_at(5e-5, link.sever)
+    sim.schedule_at(2e-4, link.sever)  # redundant re-sever
+    sim.schedule_at(5e-4, link.mend)
+    sim.run()
+    assert b.received == []
+    assert _dropped(link) == 1
+
+
+def test_flap_between_frames_is_invisible():
+    # An outage window that opens and closes while nothing is in flight
+    # must not affect later traffic.
+    simulation, _a, b, ia, ib, link = _host_pair(True)
+    link.sever()
+    simulation.run()
+    link.mend()
+    ia.transmit(EthernetFrame(ib.mac, ia.mac, b"x" * 1000))
+    simulation.run()
+    assert len(b.received) == 1
+    assert _dropped(link) == 0

@@ -358,3 +358,146 @@ class TestEchoAndGenericBindings:
         assert nat.generic_inbound(132, SERVER) == CLIENT
         assert nat.generic_inbound(132, IPv4Address("203.0.113.1")) is None
         assert nat.generic_inbound(33, SERVER) is None
+
+
+class TestExpiryGenerationGuard:
+    """A timer armed for a torn-down binding must never kill its successor.
+
+    RST teardown (or any removal) followed by an instant rebind re-uses the
+    same mapping key; a stale expiry wake-up carrying the old binding's
+    generation has to recognise the key now belongs to someone else.
+    """
+
+    def test_stale_wakeup_spares_the_rebound_flow(self, sim):
+        nat = engine(sim, tcp_timeouts=TcpTimeoutPolicy(established=None, rst_clears=True))
+        first = nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE)
+        old_gen = first.gen
+        key = nat._mapping_key("tcp", CLIENT, 5000, REMOTE)
+        nat.note_inbound(first)
+        nat.note_tcp_flags(first, fin=False, rst=True, outbound=True)
+        assert nat.find_by_external("tcp", 5000) is None
+        second = nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE)
+        assert second is not first and second.gen > old_gen
+        # The stale wake-up: same key, dead binding's generation.
+        nat._expire(key, old_gen)
+        assert nat.find_by_external("tcp", second.ext_port) is second
+
+    def test_wakeup_for_a_removed_key_is_a_no_op(self, sim):
+        nat = engine(sim)
+        binding = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        key = nat._mapping_key("udp", CLIENT, 5000, REMOTE)
+        nat.remove_binding(binding)
+        nat._expire(key, binding.gen)  # must not raise, must not resurrect
+        assert nat.find_by_external("udp", 5000) is None
+
+    def test_generations_are_engine_wide_and_monotonic(self, sim):
+        nat = engine(sim)
+        gens = [
+            nat.lookup_or_create(proto, CLIENT, port, REMOTE).gen
+            for proto, port in (("udp", 5000), ("tcp", 5000), ("udp", 5001))
+        ]
+        assert gens == sorted(gens) and len(set(gens)) == 3
+
+    def test_churned_key_expires_on_its_own_schedule(self, sim):
+        # After RST + rebind, the *new* binding still ages out normally —
+        # the guard must not leak an immortal binding.
+        nat = engine(
+            sim,
+            udp_timeouts=UdpTimeoutPolicy(30.0, 30.0, 30.0),
+            tcp_timeouts=TcpTimeoutPolicy(established=None, rst_clears=True),
+        )
+        first = nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE)
+        nat.note_tcp_flags(first, fin=False, rst=True, outbound=True)
+        second = nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.note_outbound(second)
+        sim.run(until=100.0)
+        assert nat.find_by_external("udp", second.ext_port) is None
+
+
+class TestPerProtocolRefusals:
+    """``last_refusal`` and exhaustion counts must not cross protocols."""
+
+    def _tight(self, sim):
+        return engine(
+            sim,
+            nat=NatPolicy(
+                port_preservation=False,
+                reuse_expired_binding=False,
+                first_external_port=65534,
+                max_tcp_bindings=1,
+            ),
+        )
+
+    def test_refusal_causes_are_tracked_per_protocol(self, sim):
+        nat = self._tight(sim)
+        nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.lookup_or_create("udp", CLIENT, 5001, REMOTE)
+        assert nat.lookup_or_create("udp", CLIENT, 5002, REMOTE) is None
+        nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE)
+        assert nat.lookup_or_create("tcp", CLIENT, 5001, REMOTE) is None
+        assert nat.refusal_cause("udp") == "port_exhausted"
+        assert nat.refusal_cause("tcp") == "table_full"
+        assert nat.last_refusal == "table_full"  # most recent, any protocol
+
+    def test_success_on_one_protocol_keeps_the_others_cause(self, sim):
+        nat = self._tight(sim)
+        nat.lookup_or_create("udp", CLIENT, 5000, REMOTE)
+        nat.lookup_or_create("udp", CLIENT, 5001, REMOTE)
+        assert nat.lookup_or_create("udp", CLIENT, 5002, REMOTE) is None
+        # A concurrent TCP success must not relabel the UDP refusal.
+        assert nat.lookup_or_create("tcp", CLIENT, 5000, REMOTE) is not None
+        assert nat.refusal_cause("udp") == "port_exhausted"
+        assert nat.refusal_cause("tcp") is None
+
+    def test_exhaustion_counters_are_per_protocol_and_sum(self, sim):
+        nat = self._tight(sim)
+        for port in (5000, 5001):
+            nat.lookup_or_create("udp", CLIENT, port, REMOTE)
+            nat.lookup_or_create("tcp", CLIENT, port, REMOTE)
+        nat.lookup_or_create("udp", CLIENT, 5002, REMOTE)
+        nat.lookup_or_create("udp", CLIENT, 5003, REMOTE)
+        assert nat.port_exhausted_for("udp") == 2
+        assert nat.port_exhausted_for("tcp") == 0
+        assert nat.bindings_port_exhausted == 2
+
+
+class TestOneFullWrapProperty:
+    """Exhaustive property: a pool ending at 65535 is scanned exactly once.
+
+    For every choice of freed port in a fully allocated 3-port pool at the
+    very top of the port space, the next allocation must wrap once, find
+    precisely that port, and a subsequent allocation must refuse again.
+    """
+
+    POOL = (65533, 65534, 65535)
+
+    def _pool_engine(self, sim):
+        return engine(
+            sim,
+            nat=NatPolicy(
+                port_preservation=False,
+                reuse_expired_binding=False,
+                first_external_port=self.POOL[0],
+            ),
+        )
+
+    @pytest.mark.parametrize("freed", POOL)
+    def test_wrap_finds_exactly_the_freed_port(self, sim, freed):
+        nat = self._pool_engine(sim)
+        bindings = {
+            nat.lookup_or_create("udp", CLIENT, 5000 + i, REMOTE).ext_port: i
+            for i in range(len(self.POOL))
+        }
+        assert sorted(bindings) == list(self.POOL)
+        assert nat.lookup_or_create("udp", CLIENT, 5900, REMOTE) is None
+        victim = nat.find_by_external("udp", freed)
+        nat.remove_binding(victim)
+        fresh = nat.lookup_or_create("udp", CLIENT, 5901, REMOTE)
+        assert fresh is not None and fresh.ext_port == freed
+        assert nat.lookup_or_create("udp", CLIENT, 5902, REMOTE) is None
+
+    def test_full_pool_raises_with_the_range_in_the_message(self, sim):
+        nat = self._pool_engine(sim)
+        nat._used_ports["udp"].update(self.POOL)
+        with pytest.raises(PortExhaustedError, match=r"\[65533, 65535\]"):
+            nat._allocate_sequential("udp")
