@@ -67,6 +67,10 @@ CGN_FAMILIES = ("cgn_timeouts", "cgn_exhaustion")
 #: The families ``--attack`` adds to (or selects for) a campaign.
 ATTACK_FAMILIES = ("attack_portflood", "attack_keepalive", "attack_rst")
 
+#: The families ``--metro`` adds to (or selects for) a campaign — the
+#: partitionable metro-scale tier (also the ``--partitions`` default menu).
+METRO_FAMILIES = ("metro_load",)
+
 #: Per-command fallbacks when neither ``--tests`` nor ``--families`` nor
 #: ``--cgn`` picked anything.  Kept out of argparse defaults so the commands
 #: can tell "user chose these" from "nothing chosen".
@@ -133,19 +137,21 @@ def _family_selection(args) -> Optional[List[str]]:
 
 
 def _cgn_selection(args, base: Optional[List[str]], default: List[str]) -> List[str]:
-    """Fold ``--cgn`` and ``--attack`` into a family selection.
+    """Fold ``--cgn``/``--attack``/``--metro`` into a family selection.
 
     With an explicit ``--tests``/``--families`` selection the opt-in
-    families are appended; with none, ``--cgn``/``--attack`` alone means
-    "that campaign" (just those families, not them plus the command's
-    default menu).  With neither flag the command's own ``default`` fills
-    in.
+    families are appended; with none, ``--cgn``/``--attack``/``--metro``
+    alone means "that campaign" (just those families, not them plus the
+    command's default menu).  With no flag at all the command's own
+    ``default`` fills in.
     """
     extra: List[str] = []
     if getattr(args, "cgn", False):
         extra.extend(CGN_FAMILIES)
     if getattr(args, "attack", False):
         extra.extend(ATTACK_FAMILIES)
+    if getattr(args, "metro", False):
+        extra.extend(METRO_FAMILIES)
     if not extra:
         return base if base is not None else list(default)
     if base is None:
@@ -273,7 +279,10 @@ def cmd_probe(args, out) -> int:
 
 def cmd_survey(args, out) -> int:
     tags = _resolve_tags(args.tags)
-    if args.families or args.cgn or args.attack or args.out or args.resume or args.jobs > 1:
+    if args.partitions is not None:
+        return _run_campaign_partitioned(args, tags, out)
+    if (args.families or args.cgn or args.attack or args.metro or args.out
+            or args.resume or args.jobs > 1):
         return _run_campaign_survey(args, tags, out)
     csv_dir = pathlib.Path(args.csv_dir) if args.csv_dir else None
     if csv_dir:
@@ -310,6 +319,9 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
         cgn_block_size=args.block_size,
         attack_rate=args.attack_rate,
         attack_duration=args.attack_duration,
+        metro_requests=args.metro_requests,
+        metro_idle=args.metro_idle,
+        metro_flap=args.metro_flap,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         trace_dir=args.trace,
@@ -335,6 +347,50 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
         out(f"store: {args.out}{skipped}")
     _report_errors(results, out)
     return 0 if results.complete else 1
+
+
+def _partition_runner(args, tags: Sequence[str]):
+    """Build the PartitionRunner shared by ``survey``/``bench --partitions``."""
+    from repro.core.partition import PartitionRunner
+
+    return PartitionRunner(
+        profiles=catalog_profiles(tags),
+        seed=args.seed,
+        partitions=args.partitions,
+        cgn_subscribers=args.subscribers,
+        cgn_block_size=args.block_size,
+        metro_requests=args.metro_requests,
+        metro_idle=args.metro_idle,
+        metro_flap=args.metro_flap,
+        fastpath=not args.no_fastpath,
+        store_dir=getattr(args, "out", None),
+        resume=getattr(args, "resume", False),
+    )
+
+
+def _run_campaign_partitioned(args, tags: Sequence[str], out) -> int:
+    """The ``--partitions N`` path: one topology cut across worker processes."""
+    from repro.core.partition import PartitionError
+    from repro.core.store import StoreError
+
+    if args.resume and not args.out:
+        raise SystemExit("--resume needs --out DIR (the store to resume from)")
+    runner = _partition_runner(args, tags)
+    selection = _cgn_selection(args, _family_selection(args), list(METRO_FAMILIES))
+    try:
+        results = runner.run(tests=selection)
+    except (PartitionError, StoreError) as exc:
+        raise SystemExit(str(exc)) from None
+    for name, mapping in results.families.items():
+        descriptor = registry.get(name)
+        cells = descriptor.cells_of(mapping) if descriptor is not None else mapping
+        out(f"{name:>10}: {len(cells)} segment(s)")
+    out(f"partitions: {runner.partitions}   sync rounds: {runner.last_sync_rounds}   "
+        f"boundary frames: {runner.last_boundary_frames}")
+    if args.out:
+        skipped = f" ({runner.last_skipped_cells} cell(s) reused)" if args.resume else ""
+        out(f"store: {args.out}{skipped}")
+    return 0
 
 
 def cmd_classify(args, out) -> int:
@@ -389,6 +445,9 @@ def cmd_report(args, out) -> int:
         cgn_block_size=args.block_size,
         attack_rate=args.attack_rate,
         attack_duration=args.attack_duration,
+        metro_requests=args.metro_requests,
+        metro_idle=args.metro_idle,
+        metro_flap=args.metro_flap,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         impairment=impairment,
@@ -421,6 +480,8 @@ def cmd_bench(args, out) -> int:
     from repro.devices import catalog_profiles as _profiles
 
     tags = _resolve_tags(args.tags)
+    if args.partitions is not None:
+        return _bench_partitioned(args, tags, out)
     impairment, faults = _parse_chaos(args)
     runner = SurveyRunner(
         profiles=_profiles(tags),
@@ -433,6 +494,9 @@ def cmd_bench(args, out) -> int:
         cgn_block_size=args.block_size,
         attack_rate=args.attack_rate,
         attack_duration=args.attack_duration,
+        metro_requests=args.metro_requests,
+        metro_idle=args.metro_idle,
+        metro_flap=args.metro_flap,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         impairment=impairment,
@@ -500,7 +564,90 @@ def cmd_bench(args, out) -> int:
     return 0
 
 
-def _append_bench_history(output: pathlib.Path, runner, stats) -> Optional[pathlib.Path]:
+def _bench_partitioned(args, tags: Sequence[str], out) -> int:
+    """``bench --partitions N``: time a partitioned metro campaign.
+
+    The dump gains a ``partition`` block (worker count, sync rounds,
+    boundary-frame count) and the history entry records the same three, so
+    ``tools/bench_diff.py`` can guard the partition-scaling rows like any
+    other family wall time.
+    """
+    from repro.core import write_bench_json
+    from repro.core.partition import PartitionError
+    from repro.core.store import SCHEMA_VERSION
+
+    runner = _partition_runner(args, tags)
+    selected = _cgn_selection(args, _family_selection(args), list(METRO_FAMILIES))
+    try:
+        results = runner.run(tests=selected)
+    except PartitionError as exc:
+        raise SystemExit(str(exc)) from None
+    stats = results.stats
+    out(f"devices: {len(tags)}   families: {' '.join(selected)}   "
+        f"partitions: {runner.partitions}")
+    out(f"elapsed: {runner.last_elapsed:.2f}s wall   "
+        f"sync rounds: {runner.last_sync_rounds}   "
+        f"boundary frames: {runner.last_boundary_frames}")
+    if runner.last_island_cpu_seconds:
+        islands = " ".join(f"{s:.2f}" for s in runner.last_island_cpu_seconds)
+        out(f"cpu: hub {runner.last_hub_cpu_seconds:.2f}s   islands [{islands}]s   "
+            f"critical path: {runner.last_critical_path_seconds:.2f}s")
+    out(f"events: {stats.events_processed}   events/sec (cpu): {stats.events_per_sec:.0f}")
+    for family in selected:
+        wall = stats.family_wall.get(family, 0.0)
+        events = stats.family_events.get(family, 0)
+        out(f"  {family:>10}  {wall:8.2f}s  {events:>9} events")
+    if args.output:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "config_hash": runner.fingerprint(),
+            "campaign": {
+                "devices": len(tags),
+                "tests": list(selected),
+                "seed": args.seed,
+                "cgn_subscribers": args.subscribers,
+                "cgn_block_size": args.block_size,
+                "metro_requests": args.metro_requests,
+                "metro_idle": args.metro_idle,
+                "metro_flap": args.metro_flap,
+                "fastpath": not args.no_fastpath,
+            },
+            "partition": {
+                "partitions": runner.partitions,
+                "sync_rounds": runner.last_sync_rounds,
+                "boundary_frames": runner.last_boundary_frames,
+                "island_cpu_seconds": [
+                    round(s, 3) for s in runner.last_island_cpu_seconds
+                ],
+                "hub_cpu_seconds": round(runner.last_hub_cpu_seconds, 3),
+                "critical_path_seconds": round(
+                    runner.last_critical_path_seconds, 3
+                ),
+            },
+            "elapsed_wall_seconds": round(runner.last_elapsed, 3),
+            "shard_errors": [],
+            "stats": stats.as_dict(),
+        }
+        write_bench_json(args.output, payload)
+        out(f"wrote {args.output}")
+        history = _append_bench_history(
+            pathlib.Path(args.output), runner, stats,
+            extra={
+                "partitions": runner.partitions,
+                "sync_rounds": runner.last_sync_rounds,
+                "boundary_frames": runner.last_boundary_frames,
+                "elapsed_wall_seconds": round(runner.last_elapsed, 3),
+                "critical_path_seconds": round(
+                    runner.last_critical_path_seconds, 3
+                ),
+            },
+        )
+        if history is not None:
+            out(f"appended {history}")
+    return 0
+
+
+def _append_bench_history(output: pathlib.Path, runner, stats, extra=None) -> Optional[pathlib.Path]:
     """Append one trajectory point to ``BENCH_history.json`` next to the dump.
 
     The ``pr`` field counts the entries in the repo's ``CHANGES.md`` (one
@@ -520,6 +667,8 @@ def _append_bench_history(output: pathlib.Path, runner, stats) -> Optional[pathl
         "events_per_sec": round(stats.events_per_sec, 1),
         "family_wall": {k: round(v, 6) for k, v in sorted(stats.family_wall.items())},
     }
+    if extra:
+        entry.update(extra)
     try:
         history = json.loads(history_path.read_text()) if history_path.is_file() else []
         if not isinstance(history, list):
@@ -580,6 +729,18 @@ def _add_cgn_flags(parser: argparse.ArgumentParser) -> None:
                         help="attacker packet rate in pkt/s (default: 50)")
     parser.add_argument("--attack-duration", type=float, default=20.0, dest="attack_duration",
                         help="flood duration in seconds (default: 20)")
+    parser.add_argument("--metro", action="store_true",
+                        help="run the metro-scale NAT444 family (metro_load): one "
+                        "CGN segment per device tag behind a shared core; "
+                        "appends to --families if given")
+    parser.add_argument("--metro-requests", type=int, default=8, dest="metro_requests",
+                        help="echo requests per metro subscriber (default: 8)")
+    parser.add_argument("--metro-idle", type=float, default=0.0, dest="metro_idle",
+                        help="idle seconds spliced into the middle of each metro "
+                        "subscriber's schedule (drives NAT bindings through "
+                        "expiry; default: 0)")
+    parser.add_argument("--metro-flap", default="", dest="metro_flap", metavar="SPEC",
+                        help="flap one segment's core link, e.g. tag=al,at=30.1,for=0.2")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -624,6 +785,11 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--seed", type=int, default=0)
     survey.add_argument("--csv-dir", help="export each series as CSV here")
     survey.add_argument("--jobs", type=int, default=1, help="shard devices across N worker processes")
+    survey.add_argument("--partitions", type=int, default=None, metavar="N",
+                        help="cut the (partitionable) topology into N islands in "
+                        "separate worker processes, synchronized at boundary links "
+                        "(1 = the single-process reference engine; cells are "
+                        "byte-identical either way)")
     survey.add_argument("--out", metavar="DIR",
                         help="persist every (device, family) cell into a campaign store at DIR")
     survey.add_argument("--resume", action="store_true",
@@ -667,6 +833,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tcp1-cutoff", type=float, default=600.0)
     bench.add_argument("--transfer-bytes", type=int, default=512 * 1024)
     bench.add_argument("--jobs", type=int, default=1)
+    bench.add_argument("--partitions", type=int, default=None, metavar="N",
+                       help="time a partitioned campaign on N worker processes "
+                       "(see `survey --partitions`)")
     bench.add_argument("--impair", help="link impairment, e.g. loss=0.01,reorder=5ms,dup=0.001")
     bench.add_argument("--fault", action="append",
                        help="gateway fault, e.g. crash@t=30,boot=never,device=dl8 (repeatable)")

@@ -110,6 +110,7 @@ class ParallelBindingSearch:
         self.max_rounds = max_rounds
 
     def run(self) -> Generator:
+        """Drive the parallel search to completion (coroutine entry point)."""
         outcome = SearchOutcome(estimate=None, censored=False)
         lo, hi = 0.0, self.cutoff
         cutoff_future = self.spawn(self.cutoff)

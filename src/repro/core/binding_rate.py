@@ -31,6 +31,7 @@ class RateStep:
 
     @property
     def loss_fraction(self) -> float:
+        """Fraction of offered bindings that never produced an echo."""
         if self.offered_rate <= 0:
             return 0.0
         return max(0.0, 1.0 - self.achieved_rate / self.offered_rate)
@@ -73,6 +74,7 @@ class BindingRateProbe:
         self.server_port = server_port
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, BindingRateResult]:
+        """Sweep every offered rate against the selected devices."""
         tags = list(tags if tags is not None else bed.tags())
         arrivals: Dict[Tuple[str, int], List[float]] = {}
         server = bed.server.udp.bind(self.server_port)
@@ -98,6 +100,7 @@ class BindingRateProbe:
         return results
 
     def series(self, results: Dict[str, BindingRateResult]) -> DeviceSeries:
+        """Render saturation rates as a device-ordered series."""
         series = DeviceSeries("binding-rate", "bindings/s")
         for tag, result in results.items():
             series.add(tag, Summary.of([result.saturation_rate()]))

@@ -38,9 +38,11 @@ class TimestampWriter:
 
     @property
     def finished(self) -> bool:
+        """Whether the full transfer has been handed to the socket."""
         return self.written >= self.total_bytes
 
     def next_chunk(self, now: float) -> Optional[bytes]:
+        """The next timestamped 2 KB chunk, or ``None`` when done."""
         if self.finished:
             return None
         self.written += CHUNK_BYTES
@@ -59,6 +61,7 @@ class TimestampReader:
         self.last_rx: Optional[float] = None
 
     def feed(self, data: bytes, now: float) -> None:
+        """Consume received bytes, extracting embedded timestamps."""
         self.bytes_received += len(data)
         if self.first_rx is None:
             self.first_rx = now
@@ -83,6 +86,7 @@ class TimestampReader:
         return median([delta - floor for delta in self.deltas])
 
     def throughput_bps(self) -> float:
+        """Goodput over the receive interval, in bits per second."""
         if self.first_rx is None or self.last_rx is None or self.last_rx <= self.first_rx:
             raise ValueError("not enough data to compute throughput")
         return self.bytes_received * 8.0 / (self.last_rx - self.first_rx)

@@ -44,6 +44,7 @@ class DnsProxyTest:
         self.name = name
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, DnsProxyResult]:
+        """Probe every device's DNS proxy over UDP and TCP."""
         tags = list(tags if tags is not None else bed.tags())
         results = {tag: DnsProxyResult(tag) for tag in tags}
         resolver = DnsStubResolver(bed.client)
@@ -127,6 +128,7 @@ class DnsProxyTest:
 
 
 def encode_dns_result(result: DnsProxyResult) -> Dict:
+    """Store codec: ``DnsProxyResult`` to a JSON-safe dict."""
     return {
         "tag": result.tag,
         "answers_udp": result.answers_udp,
@@ -137,6 +139,7 @@ def encode_dns_result(result: DnsProxyResult) -> Dict:
 
 
 def decode_dns_result(payload: Dict) -> DnsProxyResult:
+    """Store codec: decode what :func:`encode_dns_result` wrote."""
     return DnsProxyResult(
         tag=payload["tag"],
         answers_udp=bool(payload["answers_udp"]),

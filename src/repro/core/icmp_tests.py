@@ -88,6 +88,7 @@ class IcmpTestResult:
     icmp_host_unreach: Optional[IcmpObservation] = None
 
     def forwarded_kinds(self, transport: str) -> List[str]:
+        """ICMP kinds the device forwarded (or converted) for a transport."""
         table = self.udp if transport == "udp" else self.tcp
         return [kind for kind, obs in table.items() if obs.forwarded or obs.as_tcp_rst]
 
@@ -102,6 +103,7 @@ class IcmpTestResult:
         return all(obs.transport_rewritten for obs in observations)
 
     def fixes_embedded_ip_checksum(self) -> bool:
+        """Whether forwarded errors carry a corrected embedded IP checksum."""
         observations = [
             obs for obs in list(self.udp.values()) + list(self.tcp.values()) if obs.forwarded
         ]
@@ -110,6 +112,7 @@ class IcmpTestResult:
         return all(obs.embedded_checksum_ok for obs in observations)
 
     def tcp_errors_become_rsts(self) -> bool:
+        """Whether the device converts TCP ICMP errors into RSTs (ls2's quirk)."""
         return any(obs.as_tcp_rst for obs in self.tcp.values())
 
 
@@ -124,6 +127,7 @@ class IcmpTranslationTest:
         self.test_icmp_flows = test_icmp_flows
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, IcmpTestResult]:
+        """Forge the ICMP battery against every selected device."""
         tags = list(tags if tags is not None else bed.tags())
         results = {tag: IcmpTestResult(tag) for tag in tags}
         # A server-side UDP sink so probe datagrams are uncontroversial.
@@ -373,6 +377,7 @@ def _decode_observation(payload: Optional[Dict]) -> Optional[IcmpObservation]:
 
 
 def encode_icmp_result(result: IcmpTestResult) -> Dict:
+    """Store codec: ``IcmpTestResult`` to a JSON-safe dict."""
     return {
         "tag": result.tag,
         "udp": {kind: _encode_observation(obs) for kind, obs in result.udp.items()},
@@ -382,6 +387,7 @@ def encode_icmp_result(result: IcmpTestResult) -> Dict:
 
 
 def decode_icmp_result(payload: Dict) -> IcmpTestResult:
+    """Store codec: decode what :func:`encode_icmp_result` wrote."""
     return IcmpTestResult(
         tag=payload["tag"],
         udp={kind: _decode_observation(obs) for kind, obs in payload["udp"].items()},

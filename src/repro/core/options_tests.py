@@ -42,6 +42,7 @@ class OptionsTest:
     """Runs the option probes across the population."""
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, OptionsResult]:
+        """Run the Record-Route and SYN-option probes on every device."""
         tags = list(tags if tags is not None else bed.tags())
         sink = bed.server.udp.bind(OPTIONS_UDP_PORT)
         sink.on_receive = lambda *args: None

@@ -114,6 +114,7 @@ class ShardFailure(RuntimeError):
         return f"shard {where} failed with {self.error}: {self.message}"
 
     def to_error(self, attempts: int = 1) -> ShardError:
+        """Convert the carrier exception into a ``ShardError`` record."""
         return ShardError(
             tag=self.tag, family=self.family, error=self.error, message=self.message, attempts=attempts
         )

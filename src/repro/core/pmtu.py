@@ -47,6 +47,7 @@ class PmtuResult:
 
     @property
     def black_hole(self) -> bool:
+        """Whether the transfer stalled: PMTU discovery never converged."""
         return not self.completed
 
 
@@ -75,6 +76,7 @@ class PmtuBlackholeTest:
         self.transfer_bytes = transfer_bytes
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, PmtuResult]:
+        """Run the constrained-path transfer behind every device."""
         tags = list(tags if tags is not None else bed.tags())
         far = attach_far_host(bed, self.path_mtu)
         received: Dict[str, int] = {}

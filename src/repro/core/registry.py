@@ -62,6 +62,7 @@ FAMILY_MODULES = (
     "repro.core.dns_tests",
     "repro.cgn.families",
     "repro.attack.families",
+    "repro.cgn.metro",
 )
 
 
@@ -114,6 +115,17 @@ class ExperimentFamily:
     #: own menu stays the default; opt-in extensions (CGN) set ``False`` and
     #: run only when named (or via ``--cgn``).
     default_selected: bool = True
+    #: ``knobs -> PartitionHooks`` — families whose topology can be cut at
+    #: boundary links and run across worker processes supply the hooks the
+    #: :class:`~repro.core.partition.PartitionRunner` drives (island
+    #: builders, lookahead, stop horizon).  ``None`` = the family only runs
+    #: single-process (the per-device shard schedule still applies).
+    partition_factory: Optional[Callable[[Mapping[str, Any]], Any]] = None
+
+    @property
+    def partitionable(self) -> bool:
+        """True when the family supplies partition hooks (``--partitions``)."""
+        return self.partition_factory is not None
 
     @property
     def runnable(self) -> bool:
@@ -141,11 +153,13 @@ class ExperimentFamily:
             target.update(mapping)
 
     def encode(self, cell: Any) -> Any:
+        """Encode one result cell for the store (raises without a codec)."""
         if self.encode_cell is None:
             raise TypeError(f"family {self.name!r} has no cell encoder")
         return self.encode_cell(cell)
 
     def decode(self, payload: Any) -> Any:
+        """Decode one stored cell payload (raises without a codec)."""
         if self.decode_cell is None:
             raise TypeError(f"family {self.name!r} has no cell decoder")
         return self.decode_cell(payload)
@@ -169,6 +183,7 @@ class ReportSection:
     requires_all: bool = False
 
     def wants(self, results: Any) -> bool:
+        """Whether enough of the section's families have results to render."""
         present = [bool(results.family(name)) for name in self.families]
         return all(present) if self.requires_all else any(present)
 

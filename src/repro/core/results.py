@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 
 def median(values: Sequence[float]) -> float:
+    """Middle value (mean of the middle two for even counts)."""
     if not values:
         raise ValueError("median of empty sequence")
     ordered = sorted(values)
@@ -49,28 +50,34 @@ class Summary:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "Summary":
+        """Summarize a non-empty sample sequence."""
         if not values:
             raise ValueError("cannot summarize zero samples")
         return cls(tuple(float(v) for v in values))
 
     @property
     def median(self) -> float:
+        """Median of the samples."""
         return median(self.samples)
 
     @property
     def q1(self) -> float:
+        """First quartile."""
         return quantile(self.samples, 0.25)
 
     @property
     def q3(self) -> float:
+        """Third quartile."""
         return quantile(self.samples, 0.75)
 
     @property
     def iqr(self) -> float:
+        """Inter-quartile range."""
         return self.q3 - self.q1
 
     @property
     def count(self) -> int:
+        """Number of samples."""
         return len(self.samples)
 
     def __repr__(self) -> str:
@@ -100,6 +107,7 @@ class DeviceSeries:
     censored: Dict[str, float] = field(default_factory=dict)
 
     def add(self, tag: str, summary: Summary) -> None:
+        """Record one device's summary."""
         self.summaries[tag] = summary
 
     def add_censored(self, tag: str, cutoff: float) -> None:
@@ -107,6 +115,7 @@ class DeviceSeries:
         self.censored[tag] = cutoff
 
     def medians(self) -> Dict[str, float]:
+        """Per-device medians (measured devices only)."""
         return {tag: s.median for tag, s in self.summaries.items()}
 
     def ordered_tags(self) -> List[str]:
@@ -116,6 +125,7 @@ class DeviceSeries:
         return measured + sorted(self.censored)
 
     def value_for_stats(self, tag: str, censored_as: Optional[float] = None) -> Optional[float]:
+        """The value a population statistic should use for ``tag``."""
         if tag in self.summaries:
             return self.summaries[tag].median
         if tag in self.censored and censored_as is not None:
@@ -123,6 +133,7 @@ class DeviceSeries:
         return None
 
     def population(self, censored_as: Optional[float] = None) -> Dict[str, float]:
+        """Population statistics over every device (censored substituted)."""
         values = []
         for tag in list(self.summaries) + list(self.censored):
             value = self.value_for_stats(tag, censored_as)

@@ -61,6 +61,7 @@ class SimStats:
     def note_family(
         self, family: str, wall: float, events: int, saved: int = 0, windows: int = 0
     ) -> None:
+        """Accumulate one family run's wall time and event counts."""
         self.family_wall[family] = self.family_wall.get(family, 0.0) + wall
         self.family_events[family] = self.family_events.get(family, 0) + events
         self.family_segments[family] = self.family_segments.get(family, 0) + events + saved
@@ -89,6 +90,7 @@ class SimStats:
             self.family_segments[family] = self.family_segments.get(family, 0) + segments
 
     def as_dict(self) -> Dict:
+        """The JSON shape embedded in bench dumps."""
         return {
             "events_processed": self.events_processed,
             "segments_modeled": self.segments_modeled,

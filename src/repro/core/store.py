@@ -58,7 +58,11 @@ __all__ = [
 #: v3: adversarial knobs (``attack_rate``/``attack_duration``) joined the
 #: campaign fingerprint, the three ``attack_*`` cell codecs were added,
 #: and the NAT engine's refusal accounting went per-protocol.
-SCHEMA_VERSION = 3
+#: v4: metro knobs (``metro_requests``/``metro_idle``/``metro_flap``)
+#: joined the campaign fingerprint and the ``metro_load`` cell codec was
+#: added (``--partitions N`` is an engine knob, deliberately *outside* the
+#: fingerprint: cells are partition-count-independent by contract).
+SCHEMA_VERSION = 4
 
 
 class StoreError(RuntimeError):
@@ -176,9 +180,11 @@ class CampaignStore:
     # -- cell I/O ------------------------------------------------------------
 
     def cell_path(self, device: str, family: str) -> pathlib.Path:
+        """Path of one ``(device, family)`` cell file."""
         return self.root / self.CELL_DIR / device / f"{family}.json"
 
     def has_cell(self, device: str, family: str) -> bool:
+        """Whether a durable cell exists for ``(device, family)``."""
         return self.cell_path(device, family).exists()
 
     def completed_families(self, device: str) -> Set[str]:

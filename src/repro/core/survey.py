@@ -106,6 +106,7 @@ class SurveyResults:
         return self.families.get(name, {})
 
     def set_family(self, name: str, mapping: Mapping) -> None:
+        """Replace one family's result mapping."""
         self.families[name] = dict(mapping)
 
     @property
@@ -128,9 +129,11 @@ class SurveyResults:
 
 def _family_property(name: str) -> property:
     def getter(self: SurveyResults) -> Dict:
+        """Read the family mapping (creating it empty on first access)."""
         return self.families.setdefault(name, {})
 
     def setter(self: SurveyResults, value: Mapping) -> None:
+        """Replace the family mapping."""
         self.families[name] = value if isinstance(value, dict) else dict(value)
 
     return property(getter, setter, doc=f"Back-compat accessor for families[{name!r}].")
@@ -182,6 +185,9 @@ class SurveyRunner:
         cgn_block_size: int = 16,
         attack_rate: float = 50.0,
         attack_duration: float = 20.0,
+        metro_requests: int = 8,
+        metro_idle: float = 0.0,
+        metro_flap: str = "",
         jobs: int = 1,
         fastpath: bool = True,
         impairment: Optional[Impairment] = None,
@@ -212,6 +218,13 @@ class SurveyRunner:
         #: packet rate [pkt/s] and flood duration [s].
         self.attack_rate = float(attack_rate)
         self.attack_duration = float(attack_duration)
+        #: Metro-tier knobs (the partitionable ``metro_load`` family):
+        #: echo requests per subscriber, mid-schedule idle gap [s] (drives
+        #: NAT bindings through expiry), and a core-link flap spec
+        #: (``"tag=al,at=35,for=0.5"``; empty = no flap).
+        self.metro_requests = int(metro_requests)
+        self.metro_idle = float(metro_idle)
+        self.metro_flap = str(metro_flap)
         self.jobs = max(1, int(jobs))
         #: Run the eager event-elision kernels (``--no-fastpath`` clears it).
         #: Results are engine-independent by construction, so this knob is
@@ -257,6 +270,9 @@ class SurveyRunner:
             "cgn_block_size": self.cgn_block_size,
             "attack_rate": self.attack_rate,
             "attack_duration": self.attack_duration,
+            "metro_requests": self.metro_requests,
+            "metro_idle": self.metro_idle,
+            "metro_flap": self.metro_flap,
         }
 
     def fingerprint(self) -> str:
@@ -304,6 +320,9 @@ class SurveyRunner:
             "cgn_block_size": self.cgn_block_size,
             "attack_rate": self.attack_rate,
             "attack_duration": self.attack_duration,
+            "metro_requests": self.metro_requests,
+            "metro_idle": self.metro_idle,
+            "metro_flap": self.metro_flap,
             "fastpath": self.fastpath,
             "impairment": self.impairment,
             "faults": self.faults,

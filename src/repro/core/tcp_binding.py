@@ -40,6 +40,7 @@ class TcpTimeoutResult:
     cutoff: float = DEFAULT_TCP_CUTOFF
 
     def summary(self) -> Summary:
+        """Median/quartile summary of the measured timeouts."""
         return Summary.of(self.samples)
 
 
@@ -102,6 +103,7 @@ class TcpTimeoutProbe:
         self.server_port = server_port
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, TcpTimeoutResult]:
+        """Binary-search every device's idle-TCP binding timeout."""
         tags = list(tags if tags is not None else bed.tags())
         # Nonces restart per run, for the same reason UDP flow ids do: pcap
         # determinism requires frame bytes independent of process history.
@@ -120,6 +122,7 @@ class TcpTimeoutProbe:
         return results
 
     def series(self, results: Dict[str, TcpTimeoutResult]) -> DeviceSeries:
+        """Render the timeouts as a device-ordered series (censored kept)."""
         series = DeviceSeries("tcp1", "seconds")
         for tag, result in results.items():
             if result.samples:
@@ -187,6 +190,7 @@ class TcpBindingCapacityProbe:
         self.server_port = server_port
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, TcpBindingCapacityResult]:
+        """Open connections on every device until its binding table refuses."""
         tags = list(tags if tags is not None else bed.tags())
         bed.server.tcp.listen(self.server_port)  # sink: accept everything
         results: Dict[str, TcpBindingCapacityResult] = {}
@@ -198,6 +202,7 @@ class TcpBindingCapacityProbe:
         return results
 
     def series(self, results: Dict[str, TcpBindingCapacityResult]) -> DeviceSeries:
+        """Render binding capacities as a device-ordered series."""
         series = DeviceSeries("tcp4", "bindings")
         for tag, result in results.items():
             series.add(tag, Summary.of([float(result.max_bindings)]))
@@ -240,6 +245,7 @@ class TcpBindingCapacityProbe:
 
 
 def encode_tcp_timeout_result(result: TcpTimeoutResult) -> Dict:
+    """Store codec: ``TcpTimeoutResult`` to a JSON-safe dict."""
     return {
         "tag": result.tag,
         "samples": list(result.samples),
@@ -249,6 +255,7 @@ def encode_tcp_timeout_result(result: TcpTimeoutResult) -> Dict:
 
 
 def decode_tcp_timeout_result(payload: Dict) -> TcpTimeoutResult:
+    """Store codec: decode what :func:`encode_tcp_timeout_result` wrote."""
     return TcpTimeoutResult(
         tag=payload["tag"],
         samples=[float(v) for v in payload["samples"]],
@@ -258,6 +265,7 @@ def decode_tcp_timeout_result(payload: Dict) -> TcpTimeoutResult:
 
 
 def encode_tcp_capacity_result(result: TcpBindingCapacityResult) -> Dict:
+    """Store codec: ``TcpBindingCapacityResult`` to a JSON-safe dict."""
     return {
         "tag": result.tag,
         "max_bindings": result.max_bindings,
@@ -266,6 +274,7 @@ def encode_tcp_capacity_result(result: TcpBindingCapacityResult) -> Dict:
 
 
 def decode_tcp_capacity_result(payload: Dict) -> TcpBindingCapacityResult:
+    """Store codec: decode what :func:`encode_tcp_capacity_result` wrote."""
     return TcpBindingCapacityResult(
         tag=payload["tag"],
         max_bindings=int(payload["max_bindings"]),

@@ -54,6 +54,7 @@ class ThroughputResult:
     download_bidir: Optional[TransferOutcome] = None
 
     def as_mbps(self) -> Dict[str, float]:
+        """Measured directions in Mb/s, keyed by direction name."""
         out = {}
         for name in ("upload", "download", "upload_bidir", "download_bidir"):
             outcome = getattr(self, name)
@@ -62,6 +63,7 @@ class ThroughputResult:
         return out
 
     def delays_ms(self) -> Dict[str, float]:
+        """Measured queuing delays in milliseconds, keyed by direction."""
         out = {}
         for name in ("upload", "download", "upload_bidir", "download_bidir"):
             outcome = getattr(self, name)
@@ -105,6 +107,7 @@ class ThroughputProbe:
         self.transfer_bytes = transfer_bytes
 
     def run_all(self, bed: Testbed, tags: Optional[Sequence[str]] = None) -> Dict[str, ThroughputResult]:
+        """Run the bulk transfers, one device at a time (the paper's rule)."""
         tags = list(tags if tags is not None else bed.tags())
         bed.server.tcp.listen(THROUGHPUT_PORT_UP, on_accept=self._accept_upload)
         bed.server.tcp.listen(THROUGHPUT_PORT_DOWN, on_accept=self._accept_download)
@@ -120,6 +123,7 @@ class ThroughputProbe:
     # -- series helpers ------------------------------------------------------
 
     def throughput_series(self, results: Dict[str, ThroughputResult], field: str) -> DeviceSeries:
+        """One direction's throughput as a device-ordered series."""
         series = DeviceSeries(f"tcp2:{field}", "Mb/s")
         for tag, result in results.items():
             outcome = getattr(result, field)
@@ -128,6 +132,7 @@ class ThroughputProbe:
         return series
 
     def delay_series(self, results: Dict[str, ThroughputResult], field: str) -> DeviceSeries:
+        """One direction's queuing delay as a device-ordered series."""
         series = DeviceSeries(f"tcp3:{field}", "ms")
         for tag, result in results.items():
             outcome = getattr(result, field)
@@ -232,6 +237,7 @@ _DIRECTIONS = ("upload", "download", "upload_bidir", "download_bidir")
 
 
 def encode_throughput_result(result: ThroughputResult) -> Dict:
+    """Store codec: ``ThroughputResult`` to a JSON-safe dict."""
     payload: Dict = {"tag": result.tag}
     for name in _DIRECTIONS:
         outcome = getattr(result, name)
@@ -244,7 +250,9 @@ def encode_throughput_result(result: ThroughputResult) -> Dict:
 
 
 def decode_throughput_result(payload: Dict) -> ThroughputResult:
+    """Store codec: decode what :func:`encode_throughput_result` wrote."""
     def outcome(data):
+        """Rebuild one direction's ``TransferOutcome`` (or ``None``)."""
         if data is None:
             return None
         return TransferOutcome(

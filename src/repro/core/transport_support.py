@@ -42,6 +42,7 @@ class TransportSupportResult:
 
     @property
     def supported(self) -> bool:
+        """Whether the association both connected and passed data."""
         return self.connected and self.data_passed
 
 
@@ -170,6 +171,7 @@ class TransportSupportTest:
 
 
 def encode_transport_cell(cell: Dict[str, TransportSupportResult]) -> Dict:
+    """Store codec: per-protocol transport results to a JSON-safe dict."""
     return {
         protocol: {
             "tag": result.tag,
@@ -183,6 +185,7 @@ def encode_transport_cell(cell: Dict[str, TransportSupportResult]) -> Dict:
 
 
 def decode_transport_cell(payload: Dict) -> Dict[str, TransportSupportResult]:
+    """Store codec: decode what :func:`encode_transport_cell` wrote."""
     return {
         protocol: TransportSupportResult(
             tag=data["tag"],

@@ -60,6 +60,7 @@ class UdpTimeoutResult:
     client_port: int = CLIENT_PROBE_PORT
 
     def summary(self) -> Summary:
+        """Median/quartile summary of the measured timeouts."""
         return Summary.of(self.samples)
 
 
@@ -73,6 +74,7 @@ class PortBehavior:
 
     @property
     def category(self) -> str:
+        """The paper's three-way UDP-4 classification for this device."""
         if not self.preserves_port:
             return "new_binding_no_preservation"
         if self.reuses_binding:
@@ -170,14 +172,17 @@ class UdpTimeoutProbe:
 
     @classmethod
     def udp1(cls, **kwargs) -> "UdpTimeoutProbe":
+        """UDP-1: solitary outbound packet, reply on expiry."""
         return cls("udp1", **kwargs)
 
     @classmethod
     def udp2(cls, **kwargs) -> "UdpTimeoutProbe":
+        """UDP-2: single packet out, inbound stream with growing gaps."""
         return cls("udp2", **kwargs)
 
     @classmethod
     def udp3(cls, **kwargs) -> "UdpTimeoutProbe":
+        """UDP-3: bidirectional refresh (each inbound answered)."""
         return cls("udp3", **kwargs)
 
     # -- population entry points -------------------------------------------
@@ -203,6 +208,7 @@ class UdpTimeoutProbe:
         return results
 
     def series(self, results: Dict[str, UdpTimeoutResult]) -> DeviceSeries:
+        """Render the timeouts as a device-ordered series (censored kept)."""
         series = DeviceSeries(self.variant, "seconds")
         for tag, result in results.items():
             if result.samples:
@@ -414,6 +420,7 @@ def analyze_port_behavior(result: UdpTimeoutResult) -> PortBehavior:
 
 
 def encode_udp_timeout_result(result: UdpTimeoutResult) -> Dict:
+    """Store codec: ``UdpTimeoutResult`` to a JSON-safe dict."""
     return {
         "tag": result.tag,
         "variant": result.variant,
@@ -425,6 +432,7 @@ def encode_udp_timeout_result(result: UdpTimeoutResult) -> Dict:
 
 
 def decode_udp_timeout_result(payload: Dict) -> UdpTimeoutResult:
+    """Store codec: decode what :func:`encode_udp_timeout_result` wrote."""
     return UdpTimeoutResult(
         tag=payload["tag"],
         variant=payload["variant"],
@@ -436,6 +444,7 @@ def decode_udp_timeout_result(payload: Dict) -> UdpTimeoutResult:
 
 
 def encode_port_behavior(behavior: PortBehavior) -> Dict:
+    """Store codec: ``PortBehavior`` to a JSON-safe dict."""
     return {
         "tag": behavior.tag,
         "preserves_port": behavior.preserves_port,
@@ -444,6 +453,7 @@ def encode_port_behavior(behavior: PortBehavior) -> Dict:
 
 
 def decode_port_behavior(payload: Dict) -> PortBehavior:
+    """Store codec: decode what :func:`encode_port_behavior` wrote."""
     return PortBehavior(
         tag=payload["tag"],
         preserves_port=bool(payload["preserves_port"]),
@@ -524,6 +534,7 @@ def _render_udp5(results) -> Optional[str]:
 
 def _udp_probe_factory(variant: str):
     def factory(knobs):
+        """Build the probe entry point bound to one UDP variant."""
         maker = getattr(UdpTimeoutProbe, variant)
         return maker(repetitions=knobs.get("udp_repetitions", 3)).run_all
 

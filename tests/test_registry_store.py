@@ -58,7 +58,7 @@ class TestRegistry:
         assert registry.runnable_names() == (
             "udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4",
             "icmp", "transports", "dns", "cgn_timeouts", "cgn_exhaustion",
-            "attack_portflood", "attack_keepalive", "attack_rst",
+            "metro_load", "attack_portflood", "attack_keepalive", "attack_rst",
         )
         assert "udp4" in registry.family_names()
 
