@@ -71,6 +71,10 @@ ATTACK_FAMILIES = ("attack_portflood", "attack_keepalive", "attack_rst")
 #: partitionable metro-scale tier (also the ``--partitions`` default menu).
 METRO_FAMILIES = ("metro_load",)
 
+#: The families ``--matrix`` adds to (or selects for) a campaign — the
+#: pairwise NAT-traversal tier (subject kind ``pair``).
+MATRIX_FAMILIES = ("traversal_matrix",)
+
 #: Per-command fallbacks when neither ``--tests`` nor ``--families`` nor
 #: ``--cgn`` picked anything.  Kept out of argparse defaults so the commands
 #: can tell "user chose these" from "nothing chosen".
@@ -152,6 +156,8 @@ def _cgn_selection(args, base: Optional[List[str]], default: List[str]) -> List[
         extra.extend(ATTACK_FAMILIES)
     if getattr(args, "metro", False):
         extra.extend(METRO_FAMILIES)
+    if getattr(args, "matrix", False):
+        extra.extend(MATRIX_FAMILIES)
     if not extra:
         return base if base is not None else list(default)
     if base is None:
@@ -281,8 +287,8 @@ def cmd_survey(args, out) -> int:
     tags = _resolve_tags(args.tags)
     if args.partitions is not None:
         return _run_campaign_partitioned(args, tags, out)
-    if (args.families or args.cgn or args.attack or args.metro or args.out
-            or args.resume or args.jobs > 1):
+    if (args.families or args.cgn or args.attack or args.metro or args.matrix
+            or args.out or args.resume or args.jobs > 1):
         return _run_campaign_survey(args, tags, out)
     csv_dir = pathlib.Path(args.csv_dir) if args.csv_dir else None
     if csv_dir:
@@ -322,6 +328,8 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
         metro_requests=args.metro_requests,
         metro_idle=args.metro_idle,
         metro_flap=args.metro_flap,
+        matrix_pairs=args.matrix_pairs,
+        matrix_cgn=args.matrix_cgn,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         trace_dir=args.trace,
@@ -341,7 +349,8 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
     for name, mapping in results.families.items():
         descriptor = registry.get(name)
         cells = descriptor.cells_of(mapping) if descriptor is not None else mapping
-        out(f"{name:>10}: {len(cells)} device(s)")
+        unit = descriptor.subject_kind if descriptor is not None else "device"
+        out(f"{name:>10}: {len(cells)} {unit}(s)")
     if args.out:
         skipped = f" ({runner.last_skipped_cells} cell(s) reused)" if args.resume else ""
         out(f"store: {args.out}{skipped}")
@@ -448,6 +457,8 @@ def cmd_report(args, out) -> int:
         metro_requests=args.metro_requests,
         metro_idle=args.metro_idle,
         metro_flap=args.metro_flap,
+        matrix_pairs=args.matrix_pairs,
+        matrix_cgn=args.matrix_cgn,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         impairment=impairment,
@@ -497,6 +508,8 @@ def cmd_bench(args, out) -> int:
         metro_requests=args.metro_requests,
         metro_idle=args.metro_idle,
         metro_flap=args.metro_flap,
+        matrix_pairs=args.matrix_pairs,
+        matrix_cgn=args.matrix_cgn,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         impairment=impairment,
@@ -545,6 +558,8 @@ def cmd_bench(args, out) -> int:
                 "cgn_block_size": args.block_size,
                 "attack_rate": args.attack_rate,
                 "attack_duration": args.attack_duration,
+                "matrix_pairs": args.matrix_pairs,
+                "matrix_cgn": args.matrix_cgn,
                 "fastpath": not args.no_fastpath,
             },
             "elapsed_wall_seconds": round(runner.last_elapsed, 3),
@@ -741,6 +756,16 @@ def _add_cgn_flags(parser: argparse.ArgumentParser) -> None:
                         "expiry; default: 0)")
     parser.add_argument("--metro-flap", default="", dest="metro_flap", metavar="SPEC",
                         help="flap one segment's core link, e.g. tag=al,at=30.1,for=0.2")
+    parser.add_argument("--matrix", action="store_true",
+                        help="run the pairwise NAT-traversal family (traversal_matrix): "
+                        "STUN + hole punch + relay fallback + keepalive ladder for "
+                        "every ordered device pair; appends to --families if given")
+    parser.add_argument("--pairs", default="", dest="matrix_pairs", metavar="A+B,C+D",
+                        help="restrict --matrix to an explicit pair list, e.g. "
+                        "al+be1,dl5+al (default: every ordered pair)")
+    parser.add_argument("--matrix-cgn", action="store_true", dest="matrix_cgn",
+                        help="with --matrix: also run each pair with NAT444 on one "
+                        "side, the other, and both (.cgn-a/.cgn-b/.cgn-ab variants)")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:

@@ -1,19 +1,20 @@
-"""Process-pool campaign executor: per-device survey sharding.
+"""Process-pool campaign executor: per-subject survey sharding.
 
-Every device in the survey runs against its own freshly built
-:class:`~repro.testbed.testbed.Testbed` — one gateway, its own
-:class:`~repro.netsim.sim.Simulation`, its own seeded RNG — so the campaign
-is embarrassingly parallel across devices.  This module shards the campaign
-into one :class:`ShardSpec` per device, runs shards either in-process or on
-a :class:`concurrent.futures.ProcessPoolExecutor`, and merges the picklable
-per-shard results back in catalog order.
+Every subject in the survey — a device for the paper's families, an ordered
+device pair for the traversal matrix — runs against its own freshly built
+testbed: its own :class:`~repro.netsim.sim.Simulation`, its own seeded RNG.
+The campaign is therefore embarrassingly parallel across subjects.  This
+module shards the campaign into one :class:`ShardSpec` per subject, runs
+shards either in-process or on a
+:class:`concurrent.futures.ProcessPoolExecutor`, and merges the picklable
+per-shard results back in campaign order.
 
-Determinism: a shard's seed is derived from the campaign seed and the device
-*tag* (not its position), so
+Determinism: a shard's seed is derived from the campaign seed and the
+subject *tag* (not its position), so
 
 * ``jobs=N`` is bit-identical to ``jobs=1`` — the shard computations are the
   same work scheduled differently, and the merge is ordered; and
-* running a subset of devices reproduces exactly the per-device results of
+* running a subset of subjects reproduces exactly the per-subject results of
   the full campaign.
 
 Resilience: one shard's failure never aborts the campaign.  A deterministic
@@ -35,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.core.registry import Subject
 from repro.core.stats import SimStats
 from repro.devices.profile import DeviceProfile
 
@@ -58,13 +60,33 @@ TRANSIENT_ERRORS = (OSError, pickle.PicklingError, BrokenProcessPool)
 
 @dataclass(frozen=True)
 class ShardSpec:
-    """One unit of campaign work: one device, all selected families."""
+    """One unit of campaign work: one subject, its selected families.
 
-    profile: DeviceProfile
+    Device shards (``subject.kind == "device"``) carry every selected
+    device family, exactly as the pre-subject engine sharded; non-device
+    shards carry one family and one enumerated subject.  Constructing with
+    ``profile=`` is the device shorthand (the subject is derived), so
+    existing call sites read unchanged.
+    """
+
     seed: int
     tests: Tuple[str, ...]
     #: Keyword configuration for the shard's :class:`SurveyRunner`.
     config: Dict[str, Any]
+    subject: Optional[Subject] = None
+    #: Device shorthand: fills ``subject`` with :meth:`Subject.device`.
+    profile: Optional[DeviceProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.subject is None:
+            if self.profile is None:
+                raise ValueError("ShardSpec needs a subject (or a device profile)")
+            object.__setattr__(self, "subject", Subject.device(self.profile))
+
+    @property
+    def tag(self) -> str:
+        """The shard's subject tag (seeds, store keys, error records)."""
+        return self.subject.tag
 
 
 @dataclass(frozen=True)
@@ -125,11 +147,12 @@ ShardOutcome = Union[Tuple["SurveyResults", SimStats], ShardError]
 
 
 def shard_seed(base_seed: int, tag: str) -> int:
-    """Deterministic per-device seed, stable across processes and subsets.
+    """Deterministic per-subject seed, stable across processes and subsets.
 
-    Derived from the device tag (via CRC-32, which is stable regardless of
-    ``PYTHONHASHSEED``) rather than list position, so a device measures
+    Derived from the subject tag (via CRC-32, which is stable regardless of
+    ``PYTHONHASHSEED``) rather than list position, so a subject measures
     identically whether it is surveyed alone or with the full population.
+    Device subjects use the bare device tag — the pre-subject seeds exactly.
     """
     return (base_seed * 0x9E3779B1 + zlib.crc32(tag.encode("utf-8"))) & 0xFFFFFFFF
 
@@ -138,13 +161,22 @@ def _run_shard(spec: ShardSpec) -> Tuple["SurveyResults", SimStats]:
     # Imported lazily: survey.py imports this module at load time.
     from repro.core.survey import SurveyRunner
 
-    runner = SurveyRunner(profiles=[spec.profile], seed=spec.seed, **spec.config)
-    return runner.run_shard(spec.tests)
+    # The worker population is the subject's profiles, deduplicated by tag
+    # (an explicit self-pair names one profile twice; the runner population
+    # must stay tag-unique while the subject keeps both roles).
+    profiles = []
+    seen = set()
+    for profile in spec.subject.profiles:
+        if profile.tag not in seen:
+            seen.add(profile.tag)
+            profiles.append(profile)
+    runner = SurveyRunner(profiles=profiles, seed=spec.seed, **spec.config)
+    return runner.run_shard(spec.tests, subject=spec.subject)
 
 
 def _error_for(spec: ShardSpec, exc: BaseException, attempts: int) -> ShardError:
     return ShardError(
-        tag=spec.profile.tag,
+        tag=spec.tag,
         family=None,
         error=type(exc).__name__,
         message=str(exc),

@@ -30,10 +30,14 @@ parent family's cells.
 from __future__ import annotations
 
 import importlib
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.devices.profile import DeviceProfile
 
 __all__ = [
+    "Subject",
     "ExperimentFamily",
     "ReportSection",
     "register_family",
@@ -63,7 +67,51 @@ FAMILY_MODULES = (
     "repro.cgn.families",
     "repro.attack.families",
     "repro.cgn.metro",
+    "repro.traversal.matrix",
 )
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One unit of the campaign axis: what a store cell is keyed by.
+
+    Historically the campaign axis was hard-coded to *devices* — one shard,
+    one store directory, one report row per device tag.  A subject
+    generalizes that: it is *anything a family measures once* — a device, an
+    ordered device pair (the traversal matrix), a metro segment — carrying
+    the profiles it involves and a campaign-unique ``tag``.
+
+    Tags are the stable identity: shard seeds derive from them
+    (:func:`~repro.core.parallel.shard_seed`), store cells live under their
+    sanitized form (:func:`~repro.core.store.subject_dirname`), and resume
+    matches completed work by them.  Device subjects use the bare device tag,
+    so every pre-existing device campaign keys — and therefore measures,
+    seeds and persists — exactly as before the refactor.
+    """
+
+    #: Subject kind: ``"device"``, ``"pair"``, ... — must match the
+    #: ``subject_kind`` of every family run against it.
+    kind: str
+    #: Campaign-unique identity (seeds, store keys, report rows).
+    tag: str
+    #: The device profiles involved, in role order (a pair subject carries
+    #: ``(profile_a, profile_b)``; a device subject just ``(profile,)``).
+    profiles: Tuple["DeviceProfile", ...]
+    #: Extra subject parameters as a sorted tuple of ``(key, value)`` pairs
+    #: (hashable, picklable); e.g. which sides of a pair sit behind a CGN.
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    @classmethod
+    def device(cls, profile: "DeviceProfile") -> "Subject":
+        """The canonical device subject: kind ``device``, the bare tag."""
+        return cls(kind="device", tag=profile.tag, profiles=(profile,))
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Look up one subject parameter (``default`` when absent)."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
 
 
 @dataclass(frozen=True)
@@ -110,11 +158,24 @@ class ExperimentFamily:
     #: other than the paper's Figure-1 topology (the CGN families run a
     #: NAT444 chain) supply the builder for their own testbed here.  ``None``
     #: = the standard single-tier :class:`~repro.testbed.testbed.Testbed`.
+    #: Non-device families get the overload ``knobs -> build(subject, seed)``:
+    #: the engine builds one bed per enumerated :class:`Subject`.
     testbed_factory: Optional[Callable[[Mapping[str, Any]], Callable]] = None
     #: Included when the caller selects no families explicitly.  The paper's
     #: own menu stays the default; opt-in extensions (CGN) set ``False`` and
     #: run only when named (or via ``--cgn``).
     default_selected: bool = True
+    #: What this family's cells are keyed by: ``"device"`` (the default —
+    #: one cell per device profile, probes take the whole-population bed) or
+    #: a non-device kind such as ``"pair"`` (one cell per enumerated
+    #: :class:`Subject`; the probe and testbed factory run once per subject).
+    subject_kind: str = "device"
+    #: ``(profiles, knobs) -> [Subject, ...]`` — non-device families
+    #: enumerate their subjects here (e.g. every ordered profile pair).
+    #: Must be deterministic in its inputs: the enumeration order defines
+    #: shard order, store meta and resume bookkeeping.  ``None`` for device
+    #: families (one :meth:`Subject.device` per profile).
+    subjects: Optional[Callable[[Sequence["DeviceProfile"], Mapping[str, Any]], List["Subject"]]] = None
     #: ``knobs -> PartitionHooks`` — families whose topology can be cut at
     #: boundary links and run across worker processes supply the hooks the
     #: :class:`~repro.core.partition.PartitionRunner` drives (island
@@ -131,6 +192,19 @@ class ExperimentFamily:
     def runnable(self) -> bool:
         """True when the family runs a probe (False for derived families)."""
         return self.probe_factory is not None
+
+    def subjects_of(
+        self, profiles: Sequence["DeviceProfile"], knobs: Mapping[str, Any]
+    ) -> List["Subject"]:
+        """Enumerate this family's subjects over ``profiles``.
+
+        Device families yield one :meth:`Subject.device` per profile (in
+        population order — the pre-refactor shard order, exactly); families
+        with a ``subjects`` hook delegate to it.
+        """
+        if self.subjects is not None:
+            return list(self.subjects(profiles, knobs))
+        return [Subject.device(profile) for profile in profiles]
 
     def cells_of(self, mapping: Mapping[str, Any]) -> Dict[str, Any]:
         """Per-device cells of a canonical family mapping."""

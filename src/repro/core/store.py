@@ -3,14 +3,20 @@
 Without a store, ``repro report`` re-simulates the whole campaign on every
 invocation and a crash throws away every completed shard.  The store makes
 campaign results durable at *cell* granularity — one JSON blob per
-``(device, family)`` — so an interrupted campaign resumes from where it
+``(subject, family)`` — so an interrupted campaign resumes from where it
 died and a finished one renders reports with zero simulation.
 
 Layout of a store directory::
 
     DIR/
       campaign.json            # manifest: schema_version, config hash, meta
-      cells/<device>/<family>.json
+      cells/<subject_dir>/<family>.json
+
+``<subject_dir>`` is the subject's tag passed through
+:func:`subject_dirname` — device tags (``al``, ``dl5``) map to themselves,
+pair tags (``al+be1.cgn-b``) are already filesystem-safe, and anything else
+is escaped lossily with a campaign-level collision check (two distinct tags
+may never share a directory; see :func:`ensure_distinct_dirnames`).
 
 Every file carries ``schema_version`` and the campaign *config hash* — a
 fingerprint of ``(profiles, seed, knobs, impairment, faults)``.  Opening a
@@ -18,6 +24,11 @@ store with a different hash (or schema) raises
 :class:`IncompatibleStoreError` instead of silently mixing incomparable
 measurements; the same hash is stamped into ``BENCH_*.json`` so the bench
 trajectory can detect incomparable runs.
+
+Schema migration: stores written by the v3/v4 device-keyed engine (cells
+carry a ``device`` key, manifests list ``devices``) still *read* — reports
+render and ``load_results`` decodes them — but are frozen: appending v5
+cells to a legacy directory raises instead of mixing two layouts.
 
 Determinism contract: cells are written atomically (temp file + rename)
 with canonical JSON (sorted keys, fixed indent, no timestamps), and a
@@ -45,9 +56,12 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 
 __all__ = [
     "SCHEMA_VERSION",
+    "LEGACY_SCHEMA_VERSIONS",
     "StoreError",
     "IncompatibleStoreError",
     "campaign_fingerprint",
+    "subject_dirname",
+    "ensure_distinct_dirnames",
     "CampaignStore",
 ]
 
@@ -62,7 +76,17 @@ __all__ = [
 #: joined the campaign fingerprint and the ``metro_load`` cell codec was
 #: added (``--partitions N`` is an engine knob, deliberately *outside* the
 #: fingerprint: cells are partition-count-independent by contract).
-SCHEMA_VERSION = 4
+#: v5: the campaign axis generalized from devices to subjects — cells
+#: carry a ``subject`` key (device tags unchanged, pair tags ``a+b[...]``),
+#: directories are sanitized tags, manifests list ``subjects``, and the
+#: ``traversal_matrix`` codec was added.  v3/v4 device-keyed stores remain
+#: readable through the compat path (read-only).
+SCHEMA_VERSION = 5
+
+#: Device-keyed schema generations this build still reads (read-only).
+#: Their cell layout is identical to v5 modulo the identity key name
+#: (``device`` vs ``subject``); only fingerprint knobs differed.
+LEGACY_SCHEMA_VERSIONS = (3, 4)
 
 
 class StoreError(RuntimeError):
@@ -83,6 +107,51 @@ def _atomic_write(path: pathlib.Path, text: str) -> None:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+#: Characters a subject tag may contribute to its directory name verbatim.
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.+-_"
+)
+
+
+def subject_dirname(tag: str) -> str:
+    """Filesystem-safe directory name for one subject tag.
+
+    Safe characters (alphanumerics and ``.+-_``) pass through — every
+    catalog device tag and every pair tag maps to itself, which is what
+    keeps v5 device cells at the exact paths the v3/v4 engine used.
+    Anything else (separators, spaces, control bytes) becomes ``_``; the
+    path-special all-dots names (``.``/``..``) are prefixed.  The escape is
+    deliberately lossy, so the campaign engine guards distinctness with
+    :func:`ensure_distinct_dirnames` before any cell is written.
+    """
+    if not tag:
+        raise StoreError("subject tag must be non-empty")
+    name = "".join(c if c in _SAFE_CHARS else "_" for c in tag)
+    if set(name) <= {"."}:
+        name = "_" + name
+    return name
+
+
+def ensure_distinct_dirnames(tags: Iterable[str]) -> None:
+    """Raise when two distinct subject tags sanitize to one directory.
+
+    The sanitizer is lossy (``a b`` and ``a_b`` both map to ``a_b``), so a
+    campaign whose subject tags collide would silently overwrite cells.
+    This check runs before any shard executes; the fix is renaming the
+    offending profile tags.
+    """
+    seen: Dict[str, str] = {}
+    for tag in tags:
+        name = subject_dirname(tag)
+        other = seen.setdefault(name, tag)
+        if other != tag:
+            raise StoreError(
+                f"subject tags {other!r} and {tag!r} both sanitize to store "
+                f"directory {name!r}; rename one of them — the store cannot "
+                "keep both without silently overwriting cells"
+            )
 
 
 def campaign_fingerprint(
@@ -112,15 +181,30 @@ def campaign_fingerprint(
 
 
 class CampaignStore:
-    """One campaign's durable result set, at ``(device, family)`` granularity."""
+    """One campaign's durable result set, at ``(subject, family)`` granularity."""
 
     MANIFEST = "campaign.json"
     CELL_DIR = "cells"
 
-    def __init__(self, root: Union[str, pathlib.Path], config_hash: str, meta: Optional[Dict] = None):
+    def __init__(
+        self,
+        root: Union[str, pathlib.Path],
+        config_hash: str,
+        meta: Optional[Dict] = None,
+        schema: int = SCHEMA_VERSION,
+    ):
         self.root = pathlib.Path(root)
         self.config_hash = config_hash
         self.meta = dict(meta or {})
+        #: Schema generation of the directory on disk.  Anything below
+        #: ``SCHEMA_VERSION`` is a legacy device-keyed store: readable,
+        #: never writable.
+        self.schema = schema
+
+    @property
+    def _identity_key(self) -> str:
+        """Cell-blob key naming the subject (``device`` in legacy stores)."""
+        return "subject" if self.schema >= SCHEMA_VERSION else "device"
 
     # -- constructors --------------------------------------------------------
 
@@ -135,12 +219,20 @@ class CampaignStore:
 
         An existing manifest must match both ``schema_version`` and the
         campaign config hash — cells from different configurations never
-        mix in one directory.
+        mix in one directory, and a legacy device-keyed store is frozen
+        (readable via :meth:`open`, never appended to).
         """
         root = pathlib.Path(root)
         manifest = root / cls.MANIFEST
         if manifest.exists():
             existing = cls.open(root)
+            if existing.schema != SCHEMA_VERSION:
+                raise IncompatibleStoreError(
+                    f"campaign store {root} has legacy schema_version="
+                    f"{existing.schema}; it stays readable (repro report "
+                    f"--from) but this build writes schema_version="
+                    f"{SCHEMA_VERSION} — use a fresh --out directory"
+                )
             if existing.config_hash != config_hash:
                 raise IncompatibleStoreError(
                     f"campaign store {root} was produced by a different campaign "
@@ -159,7 +251,12 @@ class CampaignStore:
 
     @classmethod
     def open(cls, root: Union[str, pathlib.Path]) -> "CampaignStore":
-        """Open an existing store read-only-ish (``repro report --from``)."""
+        """Open an existing store read-only-ish (``repro report --from``).
+
+        Accepts the current schema and the legacy device-keyed generations
+        (:data:`LEGACY_SCHEMA_VERSIONS`) — their layout is identical modulo
+        the cell identity key, so old campaigns keep rendering.
+        """
         root = pathlib.Path(root)
         manifest = root / cls.MANIFEST
         if not manifest.exists():
@@ -169,67 +266,93 @@ class CampaignStore:
         except (OSError, json.JSONDecodeError) as exc:
             raise StoreError(f"unreadable campaign manifest {manifest}: {exc}") from exc
         version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version != SCHEMA_VERSION and version not in LEGACY_SCHEMA_VERSIONS:
             raise IncompatibleStoreError(
                 f"campaign store {root} has schema_version={version}, "
-                f"this build reads {SCHEMA_VERSION}"
+                f"this build reads {SCHEMA_VERSION} "
+                f"(and legacy {', '.join(map(str, LEGACY_SCHEMA_VERSIONS))})"
             )
         meta = {k: v for k, v in data.items() if k not in ("schema_version", "config_hash")}
-        return cls(root, data["config_hash"], meta)
+        return cls(root, data["config_hash"], meta, schema=version)
 
     # -- cell I/O ------------------------------------------------------------
 
-    def cell_path(self, device: str, family: str) -> pathlib.Path:
-        """Path of one ``(device, family)`` cell file."""
-        return self.root / self.CELL_DIR / device / f"{family}.json"
+    def cell_path(self, subject: str, family: str) -> pathlib.Path:
+        """Path of one ``(subject, family)`` cell file."""
+        return self.root / self.CELL_DIR / subject_dirname(subject) / f"{family}.json"
 
-    def has_cell(self, device: str, family: str) -> bool:
-        """Whether a durable cell exists for ``(device, family)``."""
-        return self.cell_path(device, family).exists()
+    def has_cell(self, subject: str, family: str) -> bool:
+        """Whether a durable cell exists for ``(subject, family)``."""
+        return self.cell_path(subject, family).exists()
 
-    def completed_families(self, device: str) -> Set[str]:
-        """Family names with a durable cell for ``device``."""
-        device_dir = self.root / self.CELL_DIR / device
-        if not device_dir.is_dir():
+    def completed_families(self, subject: str) -> Set[str]:
+        """Family names with a durable cell for ``subject``."""
+        subject_dir = self.root / self.CELL_DIR / subject_dirname(subject)
+        if not subject_dir.is_dir():
             return set()
-        return {path.stem for path in device_dir.glob("*.json")}
+        return {path.stem for path in subject_dir.glob("*.json")}
 
-    def devices(self) -> List[str]:
-        """Devices with at least one cell, in manifest order when known."""
-        listed = self.meta.get("devices")
+    def subjects(self) -> List[str]:
+        """Subjects with at least one cell, in manifest order when known.
+
+        Legacy manifests list ``devices``; v5 manifests list ``subjects``
+        (device tags first, then each non-device family's enumeration).
+        Cell directories not covered by the manifest sort to the back under
+        their on-disk (sanitized) names.
+        """
+        listed = self.meta.get("subjects") or self.meta.get("devices") or []
         cell_root = self.root / self.CELL_DIR
         present = {path.name for path in cell_root.iterdir() if path.is_dir()} if cell_root.is_dir() else set()
-        if listed:
-            ordered = [tag for tag in listed if tag in present]
-            return ordered + sorted(present - set(listed))
-        return sorted(present)
+        ordered = [tag for tag in listed if subject_dirname(tag) in present]
+        known = {subject_dirname(tag) for tag in listed}
+        return ordered + sorted(present - known)
 
-    def save_cell(self, device: str, family: str, payload: Any) -> None:
+    def devices(self) -> List[str]:
+        """Back-compat alias for :meth:`subjects` (report titles, tests)."""
+        return self.subjects()
+
+    def save_cell(self, subject: str, family: str, payload: Any) -> None:
         """Persist one encoded cell (atomically, canonical bytes)."""
+        if self.schema != SCHEMA_VERSION:
+            raise IncompatibleStoreError(
+                f"campaign store {self.root} has legacy schema_version="
+                f"{self.schema} and is read-only"
+            )
         blob = {
             "schema_version": SCHEMA_VERSION,
             "config_hash": self.config_hash,
-            "device": device,
+            "subject": subject,
             "family": family,
             "payload": payload,
         }
-        _atomic_write(self.cell_path(device, family), _canonical_json(blob))
+        _atomic_write(self.cell_path(subject, family), _canonical_json(blob))
 
-    def load_cell(self, device: str, family: str) -> Any:
-        """Read one cell's encoded payload, validating version and hash."""
-        path = self.cell_path(device, family)
+    def load_cell(self, subject: str, family: str) -> Any:
+        """Read one cell's encoded payload, validating version, hash and identity.
+
+        The stored identity must match the subject asked for — a cell that
+        landed under the wrong directory (or a tag collision that slipped
+        past the distinctness check) raises instead of resuming wrong.
+        """
+        path = self.cell_path(subject, family)
         try:
             blob = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             raise StoreError(f"unreadable cell {path}: {exc}") from exc
-        if blob.get("schema_version") != SCHEMA_VERSION:
+        if blob.get("schema_version") != self.schema:
             raise IncompatibleStoreError(
-                f"cell {path} has schema_version={blob.get('schema_version')}, expected {SCHEMA_VERSION}"
+                f"cell {path} has schema_version={blob.get('schema_version')}, expected {self.schema}"
             )
         if blob.get("config_hash") != self.config_hash:
             raise IncompatibleStoreError(
                 f"cell {path} belongs to campaign {blob.get('config_hash')}, "
                 f"this store is {self.config_hash}"
+            )
+        stored = blob.get(self._identity_key)
+        if stored != subject:
+            raise IncompatibleStoreError(
+                f"cell {path} belongs to subject {stored!r}, expected {subject!r} "
+                "(corrupted cell or a sanitized-tag collision)"
             )
         return blob["payload"]
 
@@ -242,7 +365,7 @@ class CampaignStore:
     ) -> "SurveyResults":
         """Decode the store into a :class:`SurveyResults` — zero simulation.
 
-        Families insert in registry order and devices in campaign order, so
+        Families insert in registry order and subjects in campaign order, so
         the loaded container is field-for-field equal to the in-memory
         results of the run that produced the cells.  Derived families
         (UDP-4) load like any other; their cells were persisted alongside
@@ -250,18 +373,18 @@ class CampaignStore:
         """
         from repro.core.survey import SurveyResults
 
-        devices = list(tags if tags is not None else self.devices())
+        subjects = list(tags if tags is not None else self.subjects())
         wanted = set(families) if families is not None else None
         results = SurveyResults()
         for fam in registry.families():
             if wanted is not None and fam.name not in wanted and fam.derived_from not in wanted:
                 continue
             mapping: Dict[str, Any] = {}
-            for device in devices:
-                if not self.has_cell(device, fam.name):
+            for subject in subjects:
+                if not self.has_cell(subject, fam.name):
                     continue
-                cell = fam.decode(self.load_cell(device, fam.name))
-                fam.insert(mapping, device, cell)
+                cell = fam.decode(self.load_cell(subject, fam.name))
+                fam.insert(mapping, subject, cell)
             if mapping:
                 results.set_family(fam.name, mapping)
         return results

@@ -4,15 +4,18 @@
 population.  The family menu is no longer hard-coded here: the runner
 iterates the :mod:`experiment registry <repro.core.registry>`, so a family
 registered by any core module is measured, merged, persisted and reported
-without touching this file.  The campaign is sharded per device: each
-device gets its own fresh testbed per family (deterministic isolation —
-residual NAT state from one test family can never contaminate another, and
-no device shares a simulation with another), seeded from the campaign seed
-and the device tag.  Shards run serially by default, or across worker
-processes with ``jobs=N``; both schedules produce field-for-field
-identical results.
+without touching this file.  The campaign is sharded per *subject*
+(:class:`~repro.core.registry.Subject`): device families shard one device
+per shard — exactly the pre-subject schedule, same tags, same seeds — while
+non-device families (the pairwise ``traversal_matrix``) enumerate their
+subjects and get one shard each.  Every shard builds its own fresh testbed
+per family (deterministic isolation — residual NAT state from one test
+family can never contaminate another, and no subject shares a simulation
+with another), seeded from the campaign seed and the subject tag.  Shards
+run serially by default, or across worker processes with ``jobs=N``; both
+schedules produce field-for-field identical results.
 
-With ``store_dir`` set, every completed ``(device, family)`` cell is
+With ``store_dir`` set, every completed ``(subject, family)`` cell is
 persisted to a :class:`~repro.core.store.CampaignStore` as it finishes —
 from inside the worker process, so a campaign killed at any point keeps
 its completed work.  ``resume=True`` skips cells already in the store and
@@ -41,7 +44,8 @@ from repro.core.parallel import (
     shard_seed,
 )
 from repro.core.stats import SimStats
-from repro.core.store import CampaignStore, campaign_fingerprint
+from repro.core.registry import Subject
+from repro.core.store import CampaignStore, campaign_fingerprint, ensure_distinct_dirnames
 from repro.devices import catalog_profiles
 from repro.devices.profile import DeviceProfile
 from repro.gateway.faults import FaultSpec
@@ -188,6 +192,8 @@ class SurveyRunner:
         metro_requests: int = 8,
         metro_idle: float = 0.0,
         metro_flap: str = "",
+        matrix_pairs: str = "",
+        matrix_cgn: bool = False,
         jobs: int = 1,
         fastpath: bool = True,
         impairment: Optional[Impairment] = None,
@@ -225,6 +231,14 @@ class SurveyRunner:
         self.metro_requests = int(metro_requests)
         self.metro_idle = float(metro_idle)
         self.metro_flap = str(metro_flap)
+        #: Traversal-matrix *selection* knobs: an explicit pair list
+        #: (``"al+be1,dl5+al"``; empty = every ordered pair) and whether to
+        #: add the NAT444-sided variants.  These select which subjects run —
+        #: like a family selection, not a measurement parameter — so they
+        #: stay outside the campaign fingerprint (a sliced matrix campaign
+        #: resumes into, and stays comparable with, the full one).
+        self.matrix_pairs = str(matrix_pairs)
+        self.matrix_cgn = bool(matrix_cgn)
         self.jobs = max(1, int(jobs))
         #: Run the eager event-elision kernels (``--no-fastpath`` clears it).
         #: Results are engine-independent by construction, so this knob is
@@ -273,17 +287,32 @@ class SurveyRunner:
             "metro_requests": self.metro_requests,
             "metro_idle": self.metro_idle,
             "metro_flap": self.metro_flap,
+            "matrix_pairs": self.matrix_pairs,
+            "matrix_cgn": self.matrix_cgn,
         }
+
+    #: Knobs that select *which subjects run* rather than how anything is
+    #: measured: excluded from the fingerprint so a pair subset and the full
+    #: matrix share one store (exactly like a ``--families`` subset does).
+    SELECTION_KNOBS = ("matrix_pairs", "matrix_cgn")
 
     def fingerprint(self) -> str:
         """Content hash of everything that determines this campaign's cells."""
         knobs = dict(self._knobs(), family_timeout=self.family_timeout)
+        for name in self.SELECTION_KNOBS:
+            knobs.pop(name, None)
         return campaign_fingerprint(
             self.profiles, self.seed, knobs, impairment=self.impairment, faults=self.faults
         )
 
-    def _fresh_testbed(self, family: Optional[registry.ExperimentFamily] = None):
+    def _fresh_testbed(
+        self,
+        family: Optional[registry.ExperimentFamily] = None,
+        subject: Optional[Subject] = None,
+        bed_seed: Optional[int] = None,
+    ):
         fastpath = self.fastpath and not self.faults
+        seed = self.seed if bed_seed is None else bed_seed
         if family is not None and family.testbed_factory is not None:
             # The family measures its own topology (e.g. the CGN families
             # run a NAT444 chain); build it from the same (profiles, seed)
@@ -291,7 +320,13 @@ class SurveyRunner:
             # factory contract predates the engine flag, so it lands on the
             # built bed below (bring-up there runs eager; harmless, since the
             # engines are byte-identical and bring-up settles before chaos).
-            bed = family.testbed_factory(self._knobs())(self.profiles, self.seed)
+            # Non-device families use the subject overload: one bed per
+            # enumerated subject, built from (subject, seed).
+            build = family.testbed_factory(self._knobs())
+            if subject is not None and subject.kind != "device":
+                bed = build(subject, seed)
+            else:
+                bed = build(self.profiles, seed)
         else:
             bed = Testbed.build(self.profiles, seed=self.seed, fastpath=fastpath)
         # Chaos goes in *after* bring-up: DHCP configuration stays clean, and
@@ -323,6 +358,8 @@ class SurveyRunner:
             "metro_requests": self.metro_requests,
             "metro_idle": self.metro_idle,
             "metro_flap": self.metro_flap,
+            "matrix_pairs": self.matrix_pairs,
+            "matrix_cgn": self.matrix_cgn,
             "fastpath": self.fastpath,
             "impairment": self.impairment,
             "faults": self.faults,
@@ -348,9 +385,17 @@ class SurveyRunner:
             )
         return selected
 
-    def _campaign_meta(self, selected: Sequence[str]) -> Dict:
+    def _campaign_meta(
+        self, selected: Sequence[str], subjects: Optional[Sequence[str]] = None
+    ) -> Dict:
         return {
             "devices": [profile.tag for profile in self.profiles],
+            # Every subject tag the campaign will produce cells for (device
+            # tags plus enumerated pair/segment tags).  Kept alongside the
+            # device list so legacy tooling reading "devices" still works.
+            "subjects": list(subjects)
+            if subjects is not None
+            else [profile.tag for profile in self.profiles],
             "seed": self.seed,
             "families": list(selected),
             "knobs": self._knobs(),
@@ -358,45 +403,82 @@ class SurveyRunner:
             "faults": [fault.describe() for fault in self.faults],
         }
 
+    def _shard_plan(self, selected: Sequence[str]) -> List[Tuple[Subject, List[str]]]:
+        """The campaign's shard schedule: ordered ``(subject, families)``.
+
+        Device families keep the pre-subject schedule — one shard per
+        profile, in population order, carrying every selected device family
+        (same tags, therefore same derived seeds, therefore byte-identical
+        cells).  Each non-device family then appends one shard per
+        enumerated subject, in the family's own enumeration order.
+        """
+        device_families = []
+        other_families = []
+        for name in selected:
+            descriptor = registry.get(name)
+            if descriptor is not None and descriptor.subject_kind != "device":
+                other_families.append(descriptor)
+            else:
+                device_families.append(name)
+        plan: List[Tuple[Subject, List[str]]] = []
+        if device_families:
+            for profile in self.profiles:
+                plan.append((Subject.device(profile), list(device_families)))
+        knobs = self._knobs()
+        for descriptor in other_families:
+            for subject in descriptor.subjects_of(self.profiles, knobs):
+                plan.append((subject, [descriptor.name]))
+        return plan
+
     def run(self, tests: Optional[Sequence[str]] = None) -> SurveyResults:
         """Run the selected experiment families (all by default).
 
-        The campaign is sharded per device with tag-derived seeds, so the
-        result is independent of ``jobs`` and of which other devices are in
-        the population.  A failing shard does not abort the campaign: its
+        The campaign is sharded per subject with tag-derived seeds, so the
+        result is independent of ``jobs`` and of which other subjects are in
+        the campaign.  A failing shard does not abort the campaign: its
         :class:`~repro.core.parallel.ShardError` lands in
-        ``SurveyResults.errors`` (catalog order) while every other device's
-        results are kept, and timing/stats are finalized either way.
+        ``SurveyResults.errors`` (schedule order) while every other
+        subject's results are kept, and timing/stats are finalized either
+        way.
 
         With ``store_dir``, cells persist as they complete and the returned
         results are decoded from the store — the exact artifact ``repro
         report --from`` renders later.
         """
         selected = self._validate(tests)
+        plan = self._shard_plan(selected)
+        # Refuse ambiguous stores up front: two subject tags that sanitize
+        # to the same cell directory would silently share cells.
+        ensure_distinct_dirnames(subject.tag for subject, _families in plan)
         store: Optional[CampaignStore] = None
-        to_run: Dict[str, List[str]] = {p.tag: list(selected) for p in self.profiles}
         self.last_skipped_cells = 0
         if self.store_dir is not None:
             fingerprint = self.store_key or self.fingerprint()
             self.store_key = fingerprint
             store = CampaignStore.create_or_open(
-                self.store_dir, fingerprint, meta=self._campaign_meta(selected)
+                self.store_dir,
+                fingerprint,
+                meta=self._campaign_meta(
+                    selected, subjects=[subject.tag for subject, _families in plan]
+                ),
             )
             if self.resume:
-                for profile in self.profiles:
-                    done = store.completed_families(profile.tag)
-                    missing = [name for name in selected if name not in done]
-                    self.last_skipped_cells += len(selected) - len(missing)
-                    to_run[profile.tag] = missing
+                filtered: List[Tuple[Subject, List[str]]] = []
+                for subject, families in plan:
+                    done = store.completed_families(subject.tag)
+                    missing = [name for name in families if name not in done]
+                    self.last_skipped_cells += len(families) - len(missing)
+                    filtered.append((subject, missing))
+                plan = filtered
         specs = [
             ShardSpec(
-                profile=profile,
-                seed=shard_seed(self.seed, profile.tag),
-                tests=tuple(to_run[profile.tag]),
+                subject=subject,
+                seed=shard_seed(self.seed, subject.tag),
+                tests=tuple(families),
                 config=self._shard_config(),
             )
-            for profile in self.profiles
-            if to_run[profile.tag]
+            for subject, families in plan
+            if families
         ]
         started = time.perf_counter()
         try:
@@ -413,7 +495,7 @@ class SurveyRunner:
             # code path `repro report --from` uses, which is what makes a
             # resumed campaign indistinguishable from an uninterrupted one.
             results = store.load_results(
-                tags=[profile.tag for profile in self.profiles], families=selected
+                tags=[subject.tag for subject, _families in plan], families=selected
             )
         else:
             results = merge_shards(shard for shard, _stats in successes)
@@ -432,17 +514,28 @@ class SurveyRunner:
             results.metrics = metrics_registry
         return results
 
-    # -- shard engine (one device, all families; used by the workers) -------
+    # -- shard engine (one subject, its families; used by the workers) ------
 
-    def run_shard(self, tests: Optional[Sequence[str]] = None) -> Tuple[SurveyResults, SimStats]:
+    def run_shard(
+        self, tests: Optional[Sequence[str]] = None, subject: Optional[Subject] = None
+    ) -> Tuple[SurveyResults, SimStats]:
         """Run the selected families serially on this runner's population.
 
         This is the per-shard execution engine behind :meth:`run`; it builds
         one fresh testbed per family and records per-family wall time and
         simulator event counts.  A family that raises becomes a picklable
-        :class:`~repro.core.parallel.ShardFailure` carrying the device tag
+        :class:`~repro.core.parallel.ShardFailure` carrying the subject tag
         and family name — and the family's timing still lands in the stats,
         so partial runs account for the work they did.
+
+        ``subject`` scopes the shard: a device subject runs the selected
+        device families against the population (the pre-subject behaviour),
+        while a non-device subject runs only the families whose
+        ``subject_kind`` matches, against that one enumerated subject.
+        Without a subject — the direct-call path — device families run as
+        before, and non-device families enumerate *all* their subjects from
+        the population, each on its own per-subject-seeded testbed, so a
+        direct ``run_shard`` reproduces the sharded campaign exactly.
 
         When a store is configured, each family's cells (and its derived
         families' cells) are persisted the moment the family completes, so
@@ -456,12 +549,25 @@ class SurveyRunner:
             store = CampaignStore(self.store_dir, self.store_key or self.fingerprint())
         observer: Optional[ShardObserver] = None
         if self.obs.enabled:
-            device = self.profiles[0].tag if len(self.profiles) == 1 else None
+            if subject is not None:
+                device = subject.tag
+            else:
+                device = self.profiles[0].tag if len(self.profiles) == 1 else None
             observer = ShardObserver(self.obs, device=device)
 
-        def timed(descriptor: registry.ExperimentFamily, probe_call) -> Dict:
+        def failure_tag() -> str:
+            if subject is not None:
+                return subject.tag
+            return ",".join(profile.tag for profile in self.profiles)
+
+        def timed(
+            descriptor: registry.ExperimentFamily,
+            probe_call,
+            bed_subject: Optional[Subject] = None,
+            bed_seed: Optional[int] = None,
+        ) -> Dict:
             family = descriptor.name
-            bed = self._fresh_testbed(descriptor)
+            bed = self._fresh_testbed(descriptor, subject=bed_subject, bed_seed=bed_seed)
             if self.family_timeout is not None:
                 bed.sim.watchdog_limit = bed.sim.now + self.family_timeout
             # The observer attaches *after* bring-up: DHCP chatter stays out
@@ -475,8 +581,7 @@ class SurveyRunner:
             except ShardFailure:
                 raise
             except Exception as exc:
-                tag = ",".join(profile.tag for profile in self.profiles)
-                raise ShardFailure(tag, family, type(exc).__name__, str(exc)) from exc
+                raise ShardFailure(failure_tag(), family, type(exc).__name__, str(exc)) from exc
             finally:
                 wall = time.perf_counter() - started
                 stats.note_family(
@@ -499,11 +604,41 @@ class SurveyRunner:
             for tag, cell in family.cells_of(mapping).items():
                 store.save_cell(tag, family.name, family.encode(cell))
 
+        def measure(family: registry.ExperimentFamily) -> Optional[Dict]:
+            """One family's result mapping for this shard (None = not ours)."""
+            if family.subject_kind == "device":
+                if subject is not None and subject.kind != "device":
+                    return None
+                return timed(family, family.probe_factory(self._knobs()))
+            # Non-device family: one fresh testbed per enumerated subject.
+            if subject is not None:
+                if subject.kind != family.subject_kind:
+                    return None
+                # Sharded path: the shard seed already encodes the subject
+                # tag, so the bed is built straight from self.seed.
+                enumerated = [(subject, None)]
+            else:
+                # Direct-call path: derive each subject's seed exactly as the
+                # campaign scheduler would, so results match the sharded run.
+                enumerated = [
+                    (sub, shard_seed(self.seed, sub.tag))
+                    for sub in family.subjects_of(self.profiles, self._knobs())
+                ]
+            probe = family.probe_factory(self._knobs())
+            mapping: Dict[str, Any] = {}
+            for sub, bed_seed in enumerated:
+                family.merge_into(
+                    mapping, timed(family, probe, bed_subject=sub, bed_seed=bed_seed)
+                )
+            return mapping
+
         try:
             for family in registry.families():
                 if not family.runnable or family.name not in selected:
                     continue
-                mapping = timed(family, family.probe_factory(self._knobs()))
+                mapping = measure(family)
+                if mapping is None:
+                    continue
                 results.set_family(family.name, mapping)
                 persist(family, mapping)
                 for derived in registry.derived_families(family.name):

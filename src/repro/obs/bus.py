@@ -41,6 +41,11 @@ kind           meaning / notable fields
 ``timer.fire`` a live :class:`~repro.netsim.sim.Timer` fired (``cb``)
 ``fault.crash``  gateway power-cycled (``dev``, ``boot``)
 ``fault.boot``  gateway finished rebooting (``dev``)
+``stun.request``  STUN server answered a binding request (``port``)
+``stun.response``  STUN client received its mapped address (``port``)
+``punch.tx``   hole-punch probe sent toward a reflexive endpoint (``side``)
+``punch.rx``   hole-punch probe arrived through the NAT (``side``)
+``relay.fallback``  direct punch failed; session fell back to the relay
 =============  ==============================================================
 
 Field values are JSON-friendly scalars; the one exception is the
@@ -79,6 +84,13 @@ TIMER_FIRE = "timer.fire"
 # Fault-injection events.
 FAULT_CRASH = "fault.crash"
 FAULT_BOOT = "fault.boot"
+
+# NAT-traversal events (STUN/hole-punch/relay experiments).
+STUN_REQUEST = "stun.request"
+STUN_RESPONSE = "stun.response"
+PUNCH_TX = "punch.tx"
+PUNCH_RX = "punch.rx"
+RELAY_FALLBACK = "relay.fallback"
 
 
 class TraceBus:

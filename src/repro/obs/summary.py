@@ -19,6 +19,17 @@ __all__ = ["summarize_trace", "summarize_paths", "render_summary"]
 
 PathLike = Union[str, pathlib.Path]
 
+#: Traversal-experiment event kinds surfaced as their own summary block:
+#: a trace of a STUN/hole-punch/relay run answers "did the punch go out,
+#: did anything come back, did we fall back?" at a glance.
+_TRAVERSAL_KINDS = (
+    "stun.request",
+    "stun.response",
+    "punch.tx",
+    "punch.rx",
+    "relay.fallback",
+)
+
 
 def summarize_trace(path: PathLike) -> Dict[str, Any]:
     """Summarize one JSONL trace file into a JSON-safe dict."""
@@ -66,6 +77,9 @@ def summarize_trace(path: PathLike) -> Dict[str, Any]:
         "drop_causes": dict(sorted(drops.items())),
         "virtual_span_seconds": None if span[0] is None else round(span[1] - span[0], 6),
     }
+    traversal = {kind: events[kind] for kind in _TRAVERSAL_KINDS if kind in events}
+    if traversal:
+        summary["traversal"] = traversal
     if sim_events or fastpath_saved or fastpath_windows:
         summary["sim"] = {
             "events_processed": sim_events,
@@ -111,10 +125,18 @@ def render_summary(summaries: List[Dict[str, Any]]) -> str:
             per_family = "  ".join(f"{name}:{count}" for name, count in summary["families"].items())
             lines.append(f"  families     {per_family}")
         for kind, count in summary["events"].items():
-            lines.append(f"  {kind:<13}{count}")
+            lines.append(f"  {kind:<15}{count}")
         if summary["drop_causes"]:
             causes = "  ".join(f"{cause}:{count}" for cause, count in summary["drop_causes"].items())
             lines.append(f"  drop causes  {causes}")
+        traversal = summary.get("traversal")
+        if traversal:
+            lines.append(
+                "  traversal    "
+                f"stun req/resp {traversal.get('stun.request', 0)}/{traversal.get('stun.response', 0)}  "
+                f"punch tx/rx {traversal.get('punch.tx', 0)}/{traversal.get('punch.rx', 0)}  "
+                f"relay fallbacks {traversal.get('relay.fallback', 0)}"
+            )
         sim = summary.get("sim")
         if sim:
             lines.append(

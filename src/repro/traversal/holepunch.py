@@ -24,6 +24,7 @@ from ipaddress import IPv4Address
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.core.runtime import Future, SimTask, run_tasks
+from repro.obs.bus import PUNCH_RX, PUNCH_TX
 from repro.testbed.testbed import Testbed
 from repro.traversal.stun import MappedAddress, StunClient, StunServer
 
@@ -64,6 +65,9 @@ class _Peer:
 
         def on_receive(payload: bytes, src_ip: IPv4Address, src_port: int) -> None:
             if payload.startswith(b"PUNCH:"):
+                bus = bed.sim.bus
+                if bus is not None:
+                    bus.emit(PUNCH_RX, side=tag)
                 self.got_punch.set_result((src_ip, src_port))
                 # Answer so the other side confirms bidirectional flow.
                 self.stun.socket.send_to(b"REPLY:" + payload[6:], src_ip, src_port)
@@ -108,6 +112,10 @@ class HolePunchExperiment:
             #    simultaneously toward the other's reflexive address.
             for attempt in range(PUNCH_ATTEMPTS):
                 marker = f"{attempt}".encode()
+                bus = self.bed.sim.bus
+                if bus is not None:
+                    bus.emit(PUNCH_TX, side=tag_a)
+                    bus.emit(PUNCH_TX, side=tag_b)
                 peer_a.stun.socket.send_to(b"PUNCH:" + marker, reflexive_b.ip, reflexive_b.port)
                 peer_b.stun.socket.send_to(b"PUNCH:" + marker, reflexive_a.ip, reflexive_a.port)
                 yield PUNCH_INTERVAL

@@ -13,6 +13,7 @@ from ipaddress import IPv4Address
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.core.runtime import Future, SimTask, run_tasks
+from repro.obs.bus import RELAY_FALLBACK
 from repro.testbed.testbed import Testbed
 from repro.traversal.holepunch import HolePunchExperiment, HolePunchOutcome
 from repro.traversal.relay import RELAY_CONTROL_PORT, RelayServer, decode, encode_allocate, new_session_id
@@ -49,6 +50,9 @@ class IceLiteSession:
         direct = self.punch.attempt(tag_a, tag_b)
         if direct.success:
             return IceOutcome(tag_a, tag_b, True, "direct", direct)
+        bus = self.bed.sim.bus
+        if bus is not None:
+            bus.emit(RELAY_FALLBACK, pair=f"{tag_a}+{tag_b}")
         relayed = self._relay_pair(tag_a, tag_b)
         if relayed:
             return IceOutcome(tag_a, tag_b, True, "relayed", direct)

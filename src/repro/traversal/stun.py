@@ -26,6 +26,7 @@ from ipaddress import IPv4Address
 from typing import Dict, Generator, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.runtime import Future
+from repro.obs.bus import STUN_REQUEST, STUN_RESPONSE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.protocols.stack import Host
@@ -124,6 +125,9 @@ class StunServer:
         if msg_type != TYPE_REQUEST:
             return
         self.requests_served += 1
+        bus = self.host.sim.bus
+        if bus is not None:
+            bus.emit(STUN_REQUEST, port=src_port)
         mapped = MappedAddress(src_ip, src_port)
         reply_socket = self._alternate if flags & FLAG_REPLY_FROM_ALT_PORT else socket
         reply_socket.send_to(encode_response(txid, mapped), src_ip, src_port)
@@ -161,6 +165,9 @@ class StunClient:
             return
         waiter = self._waiters.pop(txid, None)
         if waiter is not None:
+            bus = self.host.sim.bus
+            if bus is not None:
+                bus.emit(STUN_RESPONSE, port=mapped.port if mapped is not None else None)
             waiter.set_result(mapped)
 
     def request(

@@ -135,6 +135,34 @@ class TestTraceDeterminism:
             counted += summarize_trace(path)["events"].get("nat.bind", 0)
         assert serial.metrics.counters["events.nat.bind"] == counted
 
+    def test_traversal_block_counts_traversal_events(self, tmp_path):
+        # A traced traversal run surfaces its own block: STUN round trips,
+        # punches sent/heard, and relay fallbacks.
+        from repro.obs import render_summary as render
+
+        records = (
+            [{"t": float(i), "kind": "stun.request", "port": 1024 + i} for i in range(4)]
+            + [{"t": float(i), "kind": "stun.response", "port": 1024 + i} for i in range(3)]
+            + [{"t": 5.0, "kind": "punch.tx", "side": "a"}] * 10
+            + [{"t": 6.0, "kind": "punch.rx", "side": "b"}] * 2
+            + [{"t": 9.0, "kind": "relay.fallback", "pair": "al+ng1"}]
+            + [{"t": 9.5, "kind": "nat.bind", "dev": "al"}]
+        )
+        path = tmp_path / "al+ng1.jsonl"
+        path.write_text("\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n")
+        summary = summarize_trace(path)
+        assert summary["traversal"] == {
+            "stun.request": 4, "stun.response": 3,
+            "punch.tx": 10, "punch.rx": 2, "relay.fallback": 1,
+        }
+        text = render([summary])
+        assert "traversal    stun req/resp 4/3  punch tx/rx 10/2  relay fallbacks 1" in text
+
+    def test_no_traversal_block_without_traversal_events(self, roots):
+        _s, _p, serial_root, _pr = roots
+        summary = summarize_trace(serial_root / "trace" / "quick.jsonl")
+        assert "traversal" not in summary
+
 
 class TestPcapFraming:
     """Captures must be structurally valid classic libpcap."""

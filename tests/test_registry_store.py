@@ -14,11 +14,14 @@ import pytest
 
 from repro.core import registry
 from repro.core.store import (
+    LEGACY_SCHEMA_VERSIONS,
     SCHEMA_VERSION,
     CampaignStore,
     IncompatibleStoreError,
     StoreError,
     campaign_fingerprint,
+    ensure_distinct_dirnames,
+    subject_dirname,
 )
 from repro.core.survey import SurveyRunner
 from repro.devices.profile import NatPolicy, UdpTimeoutPolicy
@@ -59,6 +62,7 @@ class TestRegistry:
             "udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4",
             "icmp", "transports", "dns", "cgn_timeouts", "cgn_exhaustion",
             "metro_load", "attack_portflood", "attack_keepalive", "attack_rst",
+            "traversal_matrix",
         )
         assert "udp4" in registry.family_names()
 
@@ -158,19 +162,33 @@ class TestStoreBasics:
         del store
 
     def test_older_schema_version_refused(self, tmp_path):
-        # A store written by a previous build (schema v1, before the CGN
-        # knobs entered the fingerprint) must refuse with a clear error,
-        # both at the manifest and at the individual-cell level.
+        # Stores written by pre-legacy builds (before v3's device-keyed
+        # layout stabilized) must refuse with a clear error; the legacy
+        # device-keyed generations open read-only but can never be appended
+        # to — and an individually stale cell is caught even under a current
+        # manifest.
         store = CampaignStore.create_or_open(tmp_path, "aaaa")
         store.save_cell("dev", "udp1", {"x": 1})
         manifest = tmp_path / CampaignStore.MANIFEST
         data = json.loads(manifest.read_text())
-        data["schema_version"] = SCHEMA_VERSION - 1
+        data["schema_version"] = min(LEGACY_SCHEMA_VERSIONS) - 1
         manifest.write_text(json.dumps(data))
         with pytest.raises(IncompatibleStoreError,
-                           match=f"schema_version={SCHEMA_VERSION - 1}.*reads {SCHEMA_VERSION}"):
+                           match=f"schema_version={min(LEGACY_SCHEMA_VERSIONS) - 1}.*reads {SCHEMA_VERSION}"):
             CampaignStore.open(tmp_path)
+        # Legacy device-keyed generations still *open* (read-only)...
+        data["schema_version"] = SCHEMA_VERSION - 1
+        manifest.write_text(json.dumps(data))
+        legacy = CampaignStore.open(tmp_path)
+        assert legacy.schema == SCHEMA_VERSION - 1
+        # ...but refuse writes and refuse fresh campaigns appending to them.
+        with pytest.raises(IncompatibleStoreError, match="read-only"):
+            legacy.save_cell("dev", "udp2", {"x": 2})
+        with pytest.raises(IncompatibleStoreError, match="fresh --out"):
+            CampaignStore.create_or_open(tmp_path, "aaaa")
         # An individually stale cell is caught even under a current manifest.
+        data["schema_version"] = SCHEMA_VERSION
+        manifest.write_text(json.dumps(data))
         cell_path = store.cell_path("dev", "udp1")
         blob = json.loads(cell_path.read_text())
         blob["schema_version"] = SCHEMA_VERSION - 1
@@ -189,6 +207,96 @@ class TestStoreBasics:
         other = CampaignStore(tmp_path, "bbbb")
         with pytest.raises(IncompatibleStoreError, match="belongs to campaign"):
             other.load_cell("dev", "udp1")
+
+    def test_subject_mismatch_refused(self, tmp_path):
+        # A cell whose stored identity disagrees with the directory it sits
+        # in (corruption, or a sanitized-tag collision that slipped through)
+        # must refuse instead of resuming with the wrong device's data.
+        store = CampaignStore.create_or_open(tmp_path, "aaaa")
+        store.save_cell("dev", "udp1", {"x": 1})
+        cell_path = store.cell_path("dev", "udp1")
+        blob = json.loads(cell_path.read_text())
+        blob["subject"] = "other"
+        cell_path.write_text(json.dumps(blob))
+        with pytest.raises(IncompatibleStoreError, match="belongs to subject 'other'"):
+            store.load_cell("dev", "udp1")
+
+
+class TestSubjectDirnames:
+    """Filesystem-safe subject directories and the collision guard."""
+
+    def test_catalog_style_tags_pass_through(self):
+        # Device and pair tags must map to themselves: that identity is what
+        # keeps v5 device cells at the exact paths the v4 engine used.
+        for tag in ("al", "dl5", "be1", "al+be1", "al+be1.cgn-ab", "x_y-z.9"):
+            assert subject_dirname(tag) == tag
+
+    def test_hostile_tags_are_escaped(self):
+        assert subject_dirname("a b") == "a_b"
+        assert subject_dirname("a/b") == "a_b"
+        assert subject_dirname("..") == "_.."
+        with pytest.raises(StoreError, match="non-empty"):
+            subject_dirname("")
+
+    def test_distinct_tags_ok(self):
+        ensure_distinct_dirnames(["al", "be1", "al+be1", "al+be1.cgn-a"])
+
+    def test_colliding_tags_raise(self):
+        # The sanitizer is lossy, so two tags may alias one directory; the
+        # campaign engine must refuse before any cell gets overwritten.
+        with pytest.raises(StoreError, match="both sanitize"):
+            ensure_distinct_dirnames(["a b", "a_b"])
+        with pytest.raises(StoreError, match="both sanitize"):
+            ensure_distinct_dirnames(["x/y", "x y"])
+
+
+class TestLegacyMigration:
+    """v4 device-keyed stores stay readable; their cells match a v5 rerun."""
+
+    FIXTURE = pathlib.Path(__file__).parent / "data" / "legacy_store_v4"
+
+    def test_v4_store_opens_read_only(self):
+        legacy = CampaignStore.open(self.FIXTURE)
+        assert legacy.schema in LEGACY_SCHEMA_VERSIONS
+        assert legacy.subjects() == ["al", "be1"]
+        assert legacy.devices() == ["al", "be1"]
+        assert legacy.completed_families("al") == {"udp1", "udp4", "tcp4"}
+        with pytest.raises(IncompatibleStoreError, match="read-only"):
+            legacy.save_cell("al", "udp1", {"x": 1})
+        with pytest.raises(IncompatibleStoreError, match="fresh --out"):
+            CampaignStore.create_or_open(self.FIXTURE, legacy.config_hash)
+
+    def test_v4_cells_decode_through_compat_reader(self):
+        legacy = CampaignStore.open(self.FIXTURE)
+        # Legacy blobs carry a ``device`` identity key; the compat reader
+        # must validate against it, not the v5 ``subject`` key.
+        assert legacy.load_cell("al", "udp1") is not None
+        results = legacy.load_results()
+        assert set(results.udp1) == {"al", "be1"}
+        assert set(results.family("tcp4")) == {"al", "be1"}
+
+    def test_v5_rerun_reproduces_v4_cell_payloads(self, tmp_path):
+        # The oracle for the subject refactor: device families must produce
+        # cells *payload-identical* to the pre-refactor engine (the fixture
+        # was written by the v4 build from this exact configuration).
+        from repro.devices.catalog import catalog_profiles
+
+        runner = SurveyRunner(
+            catalog_profiles(["al", "be1"]), seed=0, udp_repetitions=1,
+            udp5_repetitions=1, tcp1_cutoff=300.0, transfer_bytes=256 * 1024,
+            store_dir=str(tmp_path),
+        )
+        fresh = runner.run(tests=["udp1", "tcp4"])
+        legacy = CampaignStore.open(self.FIXTURE)
+        assert legacy.load_results() == fresh
+        for cell_file in sorted(self.FIXTURE.glob("cells/*/*.json")):
+            old = json.loads(cell_file.read_text())
+            new = json.loads(
+                (tmp_path / "cells" / cell_file.parent.name / cell_file.name).read_text()
+            )
+            assert new["subject"] == old["device"]
+            assert json.dumps(new["payload"], sort_keys=True) == \
+                json.dumps(old["payload"], sort_keys=True), f"{cell_file} payload drifted"
 
 
 class TestResumableCampaign:
