@@ -75,6 +75,10 @@ METRO_FAMILIES = ("metro_load",)
 #: pairwise NAT-traversal tier (subject kind ``pair``).
 MATRIX_FAMILIES = ("traversal_matrix",)
 
+#: The families ``--workload`` adds to (or selects for) a campaign — the
+#: subscriber application-mix tier (offered-load ramp + firewall cost).
+WORKLOAD_FAMILIES = ("workload_mix", "fwcost_scaling")
+
 #: Per-command fallbacks when neither ``--tests`` nor ``--families`` nor
 #: ``--cgn`` picked anything.  Kept out of argparse defaults so the commands
 #: can tell "user chose these" from "nothing chosen".
@@ -158,6 +162,8 @@ def _cgn_selection(args, base: Optional[List[str]], default: List[str]) -> List[
         extra.extend(METRO_FAMILIES)
     if getattr(args, "matrix", False):
         extra.extend(MATRIX_FAMILIES)
+    if getattr(args, "workload", False):
+        extra.extend(WORKLOAD_FAMILIES)
     if not extra:
         return base if base is not None else list(default)
     if base is None:
@@ -288,7 +294,7 @@ def cmd_survey(args, out) -> int:
     if args.partitions is not None:
         return _run_campaign_partitioned(args, tags, out)
     if (args.families or args.cgn or args.attack or args.metro or args.matrix
-            or args.out or args.resume or args.jobs > 1):
+            or args.workload or args.out or args.resume or args.jobs > 1):
         return _run_campaign_survey(args, tags, out)
     csv_dir = pathlib.Path(args.csv_dir) if args.csv_dir else None
     if csv_dir:
@@ -330,6 +336,9 @@ def _run_campaign_survey(args, tags: Sequence[str], out) -> int:
         metro_flap=args.metro_flap,
         matrix_pairs=args.matrix_pairs,
         matrix_cgn=args.matrix_cgn,
+        workload_mix=args.workload_mix,
+        workload_ramp=args.load_ramp,
+        fw_rules=args.fw_rules,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         trace_dir=args.trace,
@@ -459,6 +468,9 @@ def cmd_report(args, out) -> int:
         metro_flap=args.metro_flap,
         matrix_pairs=args.matrix_pairs,
         matrix_cgn=args.matrix_cgn,
+        workload_mix=args.workload_mix,
+        workload_ramp=args.load_ramp,
+        fw_rules=args.fw_rules,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         impairment=impairment,
@@ -510,6 +522,9 @@ def cmd_bench(args, out) -> int:
         metro_flap=args.metro_flap,
         matrix_pairs=args.matrix_pairs,
         matrix_cgn=args.matrix_cgn,
+        workload_mix=args.workload_mix,
+        workload_ramp=args.load_ramp,
+        fw_rules=args.fw_rules,
         jobs=args.jobs,
         fastpath=not args.no_fastpath,
         impairment=impairment,
@@ -560,6 +575,9 @@ def cmd_bench(args, out) -> int:
                 "attack_duration": args.attack_duration,
                 "matrix_pairs": args.matrix_pairs,
                 "matrix_cgn": args.matrix_cgn,
+                "workload_mix": args.workload_mix,
+                "workload_ramp": args.load_ramp,
+                "fw_rules": args.fw_rules,
                 "fastpath": not args.no_fastpath,
             },
             "elapsed_wall_seconds": round(runner.last_elapsed, 3),
@@ -571,6 +589,14 @@ def cmd_bench(args, out) -> int:
         }
         if results.metrics is not None:
             payload["metrics"] = results.metrics.as_dict()
+        from repro.workload.families import scaling_curves
+
+        curves = scaling_curves(results)
+        if curves is not None:
+            # The workload tier's deliverable: the decoded scaling curves
+            # ride in the bench dump (BENCH_workload.json) so the loss
+            # curves are diffable without replaying the campaign.
+            payload["curves"] = curves
         write_bench_json(args.output, payload)
         out(f"wrote {args.output}")
         history = _append_bench_history(pathlib.Path(args.output), runner, stats)
@@ -766,6 +792,20 @@ def _add_cgn_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--matrix-cgn", action="store_true", dest="matrix_cgn",
                         help="with --matrix: also run each pair with NAT444 on one "
                         "side, the other, and both (.cgn-a/.cgn-b/.cgn-ab variants)")
+    parser.add_argument("--workload", action="store_true",
+                        help="run the subscriber-workload families (workload_mix, "
+                        "fwcost_scaling) through the NAT444 chain; appends to "
+                        "--families if given")
+    parser.add_argument("--mix", default="residential", dest="workload_mix",
+                        choices=("residential", "streaming", "p2p-heavy"),
+                        help="application mix driving workload_mix (default: residential)")
+    parser.add_argument("--load-ramp", default="", dest="load_ramp", metavar="N,N,...",
+                        help="active-subscriber counts per workload_mix load point, "
+                        "e.g. 1,2,4,8 (default: powers of two up to --subscribers)")
+    parser.add_argument("--rules", default="", dest="fw_rules", metavar="N,N,...",
+                        help="firewall rule counts (and, in a second curve, conntrack "
+                        "sizes) for fwcost_scaling, e.g. 0,256,1024,4096 "
+                        "(default: 0,256,1024,4096)")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:

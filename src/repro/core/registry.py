@@ -68,6 +68,7 @@ FAMILY_MODULES = (
     "repro.attack.families",
     "repro.cgn.metro",
     "repro.traversal.matrix",
+    "repro.workload.families",
 )
 
 

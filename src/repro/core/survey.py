@@ -194,6 +194,9 @@ class SurveyRunner:
         metro_flap: str = "",
         matrix_pairs: str = "",
         matrix_cgn: bool = False,
+        workload_mix: str = "residential",
+        workload_ramp: str = "",
+        fw_rules: str = "",
         jobs: int = 1,
         fastpath: bool = True,
         impairment: Optional[Impairment] = None,
@@ -239,6 +242,13 @@ class SurveyRunner:
         #: resumes into, and stays comparable with, the full one).
         self.matrix_pairs = str(matrix_pairs)
         self.matrix_cgn = bool(matrix_cgn)
+        #: Workload-tier knobs (the ``workload_mix``/``fwcost_scaling``
+        #: families): the application mix name, the active-subscriber ramp
+        #: (``"1,2,4,8"``; empty = powers of two up to ``cgn_subscribers``)
+        #: and the firewall rule/conntrack ramp (empty = the family default).
+        self.workload_mix = str(workload_mix)
+        self.workload_ramp = str(workload_ramp)
+        self.fw_rules = str(fw_rules)
         self.jobs = max(1, int(jobs))
         #: Run the eager event-elision kernels (``--no-fastpath`` clears it).
         #: Results are engine-independent by construction, so this knob is
@@ -289,6 +299,9 @@ class SurveyRunner:
             "metro_flap": self.metro_flap,
             "matrix_pairs": self.matrix_pairs,
             "matrix_cgn": self.matrix_cgn,
+            "workload_mix": self.workload_mix,
+            "workload_ramp": self.workload_ramp,
+            "fw_rules": self.fw_rules,
         }
 
     #: Knobs that select *which subjects run* rather than how anything is
@@ -360,6 +373,9 @@ class SurveyRunner:
             "metro_flap": self.metro_flap,
             "matrix_pairs": self.matrix_pairs,
             "matrix_cgn": self.matrix_cgn,
+            "workload_mix": self.workload_mix,
+            "workload_ramp": self.workload_ramp,
+            "fw_rules": self.fw_rules,
             "fastpath": self.fastpath,
             "impairment": self.impairment,
             "faults": self.faults,

@@ -143,6 +143,16 @@ class HomeGateway(Host):
     def tag(self) -> str:
         return self.profile.tag
 
+    def install_ruleset(self, rules: int, conntrack_entries: int = 0) -> None:
+        """Load ``rules`` firewall rules (and an emulated conntrack size).
+
+        Delegates to the forwarding engine's per-packet CPU cost model —
+        see :meth:`~repro.gateway.forwarding.ForwardingEngine
+        .install_ruleset`.  ``install_ruleset(0)`` restores the factory
+        (empty-chain) forwarding path.
+        """
+        self.engine.install_ruleset(rules, conntrack_entries)
+
     # -- startup --------------------------------------------------------------
 
     def start(self, on_ready: Optional[Callable[["HomeGateway"], None]] = None) -> None:

@@ -34,6 +34,21 @@ _SHARED = "shared"
 #: enforcement is tight at the timescales the delay test can observe.
 BURST_BYTES = 2 * 1600
 
+#: Per-packet CPU cost of one firewall rule, seconds.  Models a netfilter
+#: style linear rule scan on an embedded CPE CPU (hundreds of MHz, no
+#: flow-offload): a few microseconds per rule per packet, so rule sets in
+#: the hundreds visibly bend the forwarding-throughput curve the way the
+#: netfilter performance studies measure on real iptables chains.
+PER_RULE_COST = 4e-6
+#: Per-packet CPU cost of one connection-table entry, seconds.  Models the
+#: hash-bucket walk growing with conntrack occupancy — smaller than a rule
+#: (the table is hashed, the chain is not) but linear once buckets chain.
+PER_ENTRY_COST = 2.5e-6
+#: Combined forwarding rate the rule-cost constants are calibrated against.
+#: A profile's ``combined_rate_bps`` doubles as its CPU-speed proxy, so a
+#: slower box pays proportionally more per rule per packet.
+REFERENCE_RATE_BPS = 160e6
+
 
 class ForwardingEngine:
     """Store-and-forward engine with per-direction or shared queueing."""
@@ -53,6 +68,15 @@ class ForwardingEngine:
         self._packet_bucket: Optional[TokenBucket] = None
         if policy.pps_limit is not None:
             self._packet_bucket = TokenBucket(policy.pps_limit * 8.0, 2)
+        #: Firewall/conntrack cost model (the ``fwcost_scaling`` knob): the
+        #: installed rule count, the emulated connection-table size, and the
+        #: serialized per-packet CPU they cost.  The cost rides on its own
+        #: packets-per-second bucket so it composes with a profile's native
+        #: ``pps_limit``; both directions share it, like the one CPU the
+        #: rules actually run on.
+        self.rule_count = 0
+        self.conntrack_entries = 0
+        self._cpu_bucket: Optional[TokenBucket] = None
         if policy.shared_queue:
             self._queues: Dict[str, DropTailQueue] = {_SHARED: DropTailQueue(policy.buffer_bytes)}
             self._lanes = (_SHARED,)
@@ -76,6 +100,7 @@ class ForwardingEngine:
         self._eager_capable = (
             self._shared_bucket is None
             and self._packet_bucket is None
+            and self._cpu_bucket is None
             and not policy.shared_queue
         )
         #: Per-lane service frontier: the virtual instant the lane's last
@@ -92,6 +117,40 @@ class ForwardingEngine:
 
     def _lane_for(self, direction: str) -> str:
         return _SHARED if self.policy.shared_queue else direction
+
+    def install_ruleset(self, rules: int, conntrack_entries: int = 0) -> None:
+        """Install a firewall rule set (and an emulated conntrack load).
+
+        Every forwarded packet then pays a serialized CPU cost of
+        ``rules * PER_RULE_COST + conntrack_entries * PER_ENTRY_COST``
+        seconds — the linear rule scan plus the table walk — capping the
+        box at ``1 / cost`` packets per second across both directions.
+        ``install_ruleset(0)`` clears the model.  Install only at quiesced
+        instants (no packets queued or in flight): a non-zero cost drops
+        the engine to the staged path, whose dispatch arithmetic assumes
+        the CPU bucket existed when the queue head was admitted.
+        """
+        if rules < 0 or conntrack_entries < 0:
+            raise ValueError("rule and conntrack counts must be non-negative")
+        self.rule_count = int(rules)
+        self.conntrack_entries = int(conntrack_entries)
+        cost = self.per_packet_cost()
+        # pps rides on a TokenBucket via the same 8x trick as pps_limit.
+        self._cpu_bucket = TokenBucket(8.0 / cost, 2) if cost > 0.0 else None
+        self._eager_capable = (
+            self._shared_bucket is None
+            and self._packet_bucket is None
+            and self._cpu_bucket is None
+            and not self.policy.shared_queue
+        )
+
+    def per_packet_cost(self) -> float:
+        """Seconds of serialized CPU each forwarded packet pays, scaled to
+        this box's speed (``combined_rate_bps`` as the CPU proxy)."""
+        cost = self.rule_count * PER_RULE_COST + self.conntrack_entries * PER_ENTRY_COST
+        if cost > 0.0 and self.policy.combined_rate_bps is not None:
+            cost *= REFERENCE_RATE_BPS / self.policy.combined_rate_bps
+        return cost
 
     def forward(self, direction: str, item: Any, size_bytes: int, deliver: Callable[[Any], None]) -> bool:
         """Enqueue ``item``; ``deliver(item)`` fires when it leaves the box.
@@ -231,6 +290,8 @@ class ForwardingEngine:
             delay = max(delay, self._shared_bucket.delay_until_available(self.sim.now, size))
         if self._packet_bucket is not None:
             delay = max(delay, self._packet_bucket.delay_until_available(self.sim.now, 1))
+        if self._cpu_bucket is not None:
+            delay = max(delay, self._cpu_bucket.delay_until_available(self.sim.now, 1))
         return delay
 
     def _pump(self, lane: str) -> None:
@@ -257,6 +318,7 @@ class ForwardingEngine:
             not bucket.can_consume(now, size)
             or (self._shared_bucket is not None and not self._shared_bucket.can_consume(now, size))
             or (self._packet_bucket is not None and not self._packet_bucket.can_consume(now, 1))
+            or (self._cpu_bucket is not None and not self._cpu_bucket.can_consume(now, 1))
         ):
             self._pump(lane)
             return
@@ -267,6 +329,8 @@ class ForwardingEngine:
             self._shared_bucket.consume_unchecked(size)
         if self._packet_bucket is not None:
             self._packet_bucket.consume_unchecked(1)
+        if self._cpu_bucket is not None:
+            self._cpu_bucket.consume_unchecked(1)
         entry = queue.poll()
         if entry is None:  # pragma: no cover - defensive
             return

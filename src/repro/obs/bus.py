@@ -46,6 +46,10 @@ kind           meaning / notable fields
 ``punch.tx``   hole-punch probe sent toward a reflexive endpoint (``side``)
 ``punch.rx``   hole-punch probe arrived through the NAT (``side``)
 ``relay.fallback``  direct punch failed; session fell back to the relay
+``flow.start``  workload generator opened an application flow (``dev``,
+               ``sub``, ``app``, ``flow``, ``bytes``)
+``flow.complete``  an application flow finished its transfer (``dev``,
+               ``sub``, ``app``, ``flow``, ``fct`` — completion time [s])
 =============  ==============================================================
 
 Field values are JSON-friendly scalars; the one exception is the
@@ -91,6 +95,10 @@ STUN_RESPONSE = "stun.response"
 PUNCH_TX = "punch.tx"
 PUNCH_RX = "punch.rx"
 RELAY_FALLBACK = "relay.fallback"
+
+# Workload-generator flow lifecycle events (repro.workload).
+FLOW_START = "flow.start"
+FLOW_COMPLETE = "flow.complete"
 
 
 class TraceBus:

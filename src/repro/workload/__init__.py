@@ -1,0 +1,44 @@
+"""Subscriber workload generation (``repro.workload``).
+
+A deterministic, seeded per-subscriber application-mix generator layered on
+the NAT444 topology, plus the two experiment families it powers:
+
+* ``workload_mix`` — offered-load ramp over subscriber counts, measuring
+  goodput, flow-completion-time percentiles, NAT table occupancy and CGN
+  port-block pressure per gateway profile.
+* ``fwcost_scaling`` — the netfilter-analogue cost curve: forwarding
+  throughput and per-packet latency vs. firewall rule count and emulated
+  connection-table size.
+
+See :mod:`repro.workload.mixes` for the application mixes,
+:mod:`repro.workload.generator` for the flow engine, and
+:mod:`repro.workload.families` for the registry descriptors.
+"""
+
+from repro.workload.families import (
+    FwCostProbe,
+    FwCostResult,
+    LoadPoint,
+    RulePoint,
+    WorkloadMixProbe,
+    WorkloadMixResult,
+    scaling_curves,
+)
+from repro.workload.generator import WorkloadGenerator, WorkloadServer
+from repro.workload.mixes import MIXES, AppMix, FlowSpec, mix_for
+
+__all__ = [
+    "AppMix",
+    "FlowSpec",
+    "FwCostProbe",
+    "FwCostResult",
+    "LoadPoint",
+    "MIXES",
+    "RulePoint",
+    "WorkloadGenerator",
+    "WorkloadMixProbe",
+    "WorkloadMixResult",
+    "WorkloadServer",
+    "mix_for",
+    "scaling_curves",
+]

@@ -1,0 +1,339 @@
+"""The workload flow engine: subscriber flows through a NAT444 segment.
+
+Everything is UDP with a tiny framing protocol, so a flow's life is
+visible to both NAT tiers without TCP state getting between the load and
+the binding tables:
+
+* ``OP_OBJECT`` request — ``flow_id(8) | 0x01 | nbytes(4) | chunk(2)``.
+  The :class:`WorkloadServer` answers with ``ceil(nbytes / chunk)``
+  response datagrams (``flow_id(8) | 0x03 | seq(4) | data``) in one burst;
+  the gateways' forwarding buckets pace, queue or drop them, which is
+  where goodput and flow-completion time come from.
+* ``OP_ECHO`` request — ``flow_id(8) | 0x02 | seq(4) | pad``.  Echoed back
+  verbatim (the VoIP train, and the ``fwcost_scaling`` probe packet).
+
+Flow schedules are fixed virtual-time plans computed before the window
+runs (the metro pattern): every send is ``sim.schedule_at`` from the
+per-subscriber RNG, so a window is byte-deterministic under any ``jobs=N``
+and either engine.  All mutable state — flow tables, counters, RNGs —
+lives on the :class:`WorkloadGenerator` instance, never at module level
+(the PR-3 lesson: module globals leak process history into shard output).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.parallel import shard_seed
+from repro.obs.bus import FLOW_COMPLETE, FLOW_START
+from repro.workload.mixes import AppMix, FlowSpec, flows_for_subscriber
+
+__all__ = [
+    "WORKLOAD_PORT",
+    "P2P_PORTS",
+    "FlowRecord",
+    "WindowStats",
+    "WorkloadServer",
+    "SegmentWindow",
+    "WorkloadGenerator",
+]
+
+#: Server port for web/video/voip flows.
+WORKLOAD_PORT = 34800
+#: P2P remote ports: each flow picks one, so churn spreads over 5-tuples.
+P2P_PORTS = tuple(range(34810, 34818))
+
+OP_OBJECT = 1
+OP_ECHO = 2
+OP_CHUNK = 3
+
+_CHUNK_HEADER = 13  # flow_id(8) + op(1) + seq(4)
+
+
+def object_request(flow_id: int, nbytes: int, chunk: int) -> bytes:
+    """Encode one ``OP_OBJECT`` request datagram."""
+    return (
+        flow_id.to_bytes(8, "big")
+        + bytes([OP_OBJECT])
+        + nbytes.to_bytes(4, "big")
+        + chunk.to_bytes(2, "big")
+    )
+
+
+def echo_request(flow_id: int, seq: int, size: int) -> bytes:
+    """Encode one ``OP_ECHO`` request datagram, padded to ``size`` bytes."""
+    head = flow_id.to_bytes(8, "big") + bytes([OP_ECHO]) + seq.to_bytes(4, "big")
+    if size < len(head):
+        raise ValueError(f"echo size {size} below the {len(head)}-byte header")
+    return head + bytes(size - len(head))
+
+
+class WorkloadServer:
+    """Server side of the workload protocol: object bursts and echoes.
+
+    Binds the workload port plus the p2p port fan on the test server and
+    answers statelessly, so one server instance carries every segment and
+    every window of a campaign shard.
+    """
+
+    def __init__(self, bed):
+        self.bed = bed
+        self._sockets = []
+        for port in (WORKLOAD_PORT, *P2P_PORTS):
+            socket = bed.server.udp.bind(port)
+            socket.on_receive = self._handler(socket)
+            self._sockets.append(socket)
+        self.requests = 0
+        self.chunks_sent = 0
+
+    def _handler(self, socket) -> Callable:
+        def on_datagram(payload: bytes, src_ip, src_port) -> None:
+            if len(payload) < 9:
+                return
+            op = payload[8]
+            self.requests += 1
+            if op == OP_ECHO:
+                socket.send_to(payload, src_ip, src_port)
+                return
+            if op != OP_OBJECT or len(payload) < 15:
+                return
+            flow_head = payload[0:8]
+            nbytes = int.from_bytes(payload[9:13], "big")
+            chunk = max(1, int.from_bytes(payload[13:15], "big"))
+            seq = 0
+            remaining = nbytes
+            while remaining > 0:
+                data = min(chunk, remaining)
+                remaining -= data
+                socket.send_to(
+                    flow_head + bytes([OP_CHUNK]) + seq.to_bytes(4, "big") + bytes(data),
+                    src_ip,
+                    src_port,
+                )
+                seq += 1
+                self.chunks_sent += 1
+
+        return on_datagram
+
+    def detach(self) -> None:
+        """Close every server socket."""
+        for socket in self._sockets:
+            socket.close()
+
+
+@dataclass
+class FlowRecord:
+    """One live (or finished) application flow on the client side."""
+
+    flow_id: int
+    subscriber: int
+    spec: FlowSpec
+    socket: object = None
+    started_at: float = 0.0
+    bytes_received: int = 0
+    completed_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclass
+class WindowStats:
+    """What one segment window measured, raw (the family builds the cell)."""
+
+    subscribers: int = 0
+    flows: int = 0
+    completed: int = 0
+    offered_bytes: int = 0
+    delivered_bytes: int = 0
+    fct_samples: List[float] = field(default_factory=list)
+    #: Binding-table occupancy at window end (home tier summed, CGN tier).
+    gw_bindings: int = 0
+    cgn_bindings: int = 0
+    #: CGN deltas across the window: bindings created, port blocks
+    #: allocated, allocation refusals (the port-block-pressure signals).
+    bindings_created: int = 0
+    blocks_allocated: int = 0
+    blocks_in_use: int = 0
+    refusals: int = 0
+
+
+class SegmentWindow:
+    """One (segment, load-point) measurement window, fully pre-scheduled."""
+
+    def __init__(
+        self,
+        generator: "WorkloadGenerator",
+        tag: str,
+        start: float,
+        length: float,
+        subscribers: int,
+        grace: float,
+    ):
+        self.generator = generator
+        self.tag = tag
+        self.start = start
+        self.length = length
+        self.grace = grace
+        self.stats = WindowStats(subscribers=subscribers)
+        self._flows: List[FlowRecord] = []
+        self._before: Tuple[int, int, int, int] = (0, 0, 0, 0)
+        sim = generator.bed.sim
+        sim.schedule_at(start - 1e-3, self._begin)
+        # The RNG key deliberately omits the segment tag: every device
+        # profile faces the *same* offered mix, so cross-device goodput and
+        # FCT differences are attributable to the gateway under test.
+        for subscriber in range(1, subscribers + 1):
+            rng = random.Random(
+                shard_seed(generator.seed, f"workload/{subscriber}/{start:.3f}")
+            )
+            for spec in flows_for_subscriber(
+                generator.mix, rng, length, WORKLOAD_PORT, P2P_PORTS
+            ):
+                record = FlowRecord(next(generator.flow_ids), subscriber, spec)
+                self._flows.append(record)
+                self.stats.flows += 1
+                self.stats.offered_bytes += spec.bytes_expected
+                sim.schedule_at(start + spec.start, self._open_flow, record)
+        sim.schedule_at(start + length + grace, self._finish)
+
+    # -- flow lifecycle ---------------------------------------------------
+
+    def _open_flow(self, record: FlowRecord) -> None:
+        bed = self.generator.bed
+        sim = bed.sim
+        iface = bed.client_iface(self.tag, record.subscriber)
+        record.socket = bed.client.udp.bind(0, iface.index)
+        record.socket.on_receive = self._receiver(record)
+        record.started_at = sim.now
+        bus = sim.bus
+        if bus is not None:
+            bus.emit(
+                FLOW_START,
+                dev=self.tag,
+                sub=record.subscriber,
+                app=record.spec.app,
+                flow=record.flow_id,
+                bytes=record.spec.bytes_expected,
+            )
+        server_ip = bed.segment(self.tag).server_ip
+        spec = record.spec
+        for offset, nbytes in spec.downloads:
+            request = object_request(record.flow_id, nbytes, spec.chunk_bytes)
+            if offset <= 0.0:
+                record.socket.send_to(request, server_ip, spec.port)
+            else:
+                sim.schedule_at(sim.now + offset, self._send, record, request)
+        for i in range(spec.echoes):
+            request = echo_request(record.flow_id, i, spec.echo_bytes)
+            if i == 0:
+                record.socket.send_to(request, server_ip, spec.port)
+            else:
+                sim.schedule_at(sim.now + i * spec.echo_interval, self._send, record, request)
+
+    def _send(self, record: FlowRecord, request: bytes) -> None:
+        if record.socket is None or record.socket.closed:
+            return
+        server_ip = self.generator.bed.segment(self.tag).server_ip
+        record.socket.send_to(request, server_ip, record.spec.port)
+
+    def _receiver(self, record: FlowRecord) -> Callable:
+        def on_datagram(payload: bytes, _src_ip, _src_port) -> None:
+            if len(payload) < 9 or int.from_bytes(payload[0:8], "big") != record.flow_id:
+                return
+            op = payload[8]
+            if op == OP_CHUNK:
+                got = len(payload) - _CHUNK_HEADER
+            elif op == OP_ECHO:
+                got = len(payload)
+            else:
+                return
+            record.bytes_received += got
+            self.stats.delivered_bytes += got
+            if record.completed_at is None and record.bytes_received >= record.spec.bytes_expected:
+                sim = self.generator.bed.sim
+                record.completed_at = sim.now
+                self.stats.completed += 1
+                fct = record.completed_at - record.started_at
+                if record.spec.transfer_bound:
+                    self.stats.fct_samples.append(fct)
+                bus = sim.bus
+                if bus is not None:
+                    bus.emit(
+                        FLOW_COMPLETE,
+                        dev=self.tag,
+                        sub=record.subscriber,
+                        app=record.spec.app,
+                        flow=record.flow_id,
+                        fct=fct,
+                    )
+
+        return on_datagram
+
+    # -- snapshots --------------------------------------------------------
+
+    def _counters(self) -> Tuple[int, int, int, int]:
+        segment = self.generator.bed.segment(self.tag)
+        allocator = segment.cgn.allocator
+        return (
+            segment.cgn.nat.bindings_created,
+            allocator.blocks_allocated,
+            allocator.blocks_released,
+            allocator.exhaustions,
+        )
+
+    def _begin(self) -> None:
+        self._before = self._counters()
+
+    def _finish(self) -> None:
+        for record in self._flows:
+            if record.socket is not None and not record.socket.closed:
+                record.socket.close()
+        segment = self.generator.bed.segment(self.tag)
+        created, allocated, released, refused = self._counters()
+        before = self._before
+        stats = self.stats
+        stats.bindings_created = created - before[0]
+        stats.blocks_allocated = allocated - before[1]
+        stats.blocks_in_use = allocated - released
+        stats.refusals = refused - before[3]
+        stats.cgn_bindings = segment.cgn.nat.binding_count("udp") + segment.cgn.nat.binding_count(
+            "tcp"
+        )
+        stats.gw_bindings = sum(
+            home.gateway.nat.binding_count("udp") + home.gateway.nat.binding_count("tcp")
+            for home in segment.homes
+        )
+
+
+class WorkloadGenerator:
+    """Per-shard workload driver for one NAT444 testbed.
+
+    Owns every piece of mutable generator state — the flow-id counter and
+    the per-subscriber RNG derivation — so two probes in one process can
+    never see each other's history.  Windows are scheduled up front and
+    collected after ``sim.run(until=horizon)``.
+    """
+
+    def __init__(self, bed, mix: AppMix, flow_ids, seed: Optional[int] = None):
+        self.bed = bed
+        self.mix = mix
+        self.flow_ids = flow_ids
+        self.seed = bed.sim.seed if seed is None else seed
+        self.windows: Dict[str, List[SegmentWindow]] = {}
+
+    def schedule_window(
+        self, tag: str, start: float, length: float, subscribers: int, grace: float
+    ) -> SegmentWindow:
+        """Plan one measurement window for ``tag`` with ``subscribers`` homes active."""
+        if subscribers < 1 or subscribers > self.bed.subscribers:
+            raise ValueError(
+                f"load point {subscribers} outside 1..{self.bed.subscribers} "
+                f"(raise --subscribers to ramp further)"
+            )
+        window = SegmentWindow(self, tag, start, length, subscribers, grace)
+        self.windows.setdefault(tag, []).append(window)
+        return window

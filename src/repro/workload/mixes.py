@@ -1,0 +1,209 @@
+"""Per-subscriber application mixes: what one home actually sends.
+
+Each :class:`AppMix` dimensions one window of a single subscriber's
+traffic as four application archetypes:
+
+* **web** — a handful of request bursts, each downloading an object with a
+  heavy-tailed (bounded-Pareto) size: most pages are small, the tail is a
+  large asset.
+* **video** — one or two long-lived flows fetching fixed-size segments on
+  a DASH-like schedule.
+* **voip** — a constant-rate stream of small echo datagrams (the
+  delay/loss-sensitive flow the paper's queueing results matter for).
+* **p2p** — a churn of short-lived flows to varied remote ports, each a
+  fresh 5-tuple.  This is what actually pressures the NAT tiers: every
+  flow claims a port at the home gateway *and* a slot in a CGN port block,
+  and the sockets close long before the bindings expire.
+
+The dimensioning follows the multi-perspective CGN deployment study
+(PAPERS.md: Richter et al.): the median subscriber holds a few dozen
+concurrent ports with a heavy tail into the hundreds (our p2p churn), and
+CGN segments multiplex single-digit-to-dozens of subscribers per public
+address — which is why the default ``workload_mix`` ramp tops out at the
+campaign's ``--subscribers`` and why the CGN policy's port pool is sized
+to get *tight*, not to be infinite.
+
+Determinism: all sampling draws from a caller-provided ``random.Random``
+in a fixed order, so a subscriber's window is a pure function of
+``(seed, segment tag, subscriber index, mix)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "WEB",
+    "VIDEO",
+    "VOIP",
+    "P2P",
+    "FlowSpec",
+    "AppMix",
+    "MIXES",
+    "MIX_NAMES",
+    "mix_for",
+    "bounded_pareto",
+    "flows_for_subscriber",
+]
+
+WEB = "web"
+VIDEO = "video"
+VOIP = "voip"
+P2P = "p2p"
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One application flow, fully described before any packet exists.
+
+    ``downloads`` holds ``(offset, nbytes)`` request pairs relative to the
+    flow's start: web and p2p flows carry one, video flows one per segment.
+    ``echoes``/``echo_interval``/``echo_bytes`` describe the VoIP train
+    (zero echoes for the download apps).  ``bytes_expected`` is the
+    completion target the generator counts delivered bytes against.
+    """
+
+    app: str
+    #: Start offset into the window, seconds.
+    start: float
+    #: Server port the flow addresses (p2p varies it per flow).
+    port: int
+    #: ``(request offset from start, object bytes)`` download requests.
+    downloads: Tuple[Tuple[float, int], ...] = ()
+    #: Server datagram payload size for object downloads.
+    chunk_bytes: int = 1200
+    #: VoIP train: echo count, spacing [s], payload size.
+    echoes: int = 0
+    echo_interval: float = 0.05
+    echo_bytes: int = 160
+
+    @property
+    def bytes_expected(self) -> int:
+        """Application bytes the flow must receive to count as complete."""
+        return sum(nbytes for _offset, nbytes in self.downloads) + self.echoes * self.echo_bytes
+
+    @property
+    def transfer_bound(self) -> bool:
+        """Whether completion time measures the network, not the schedule.
+
+        Web and p2p flows issue one burst request and finish when the
+        bytes arrive, so their FCT is queueing + serialization.  Video
+        (paced segment fetches) and VoIP (a fixed-duration echo train) are
+        schedule-bound: their completion time is dominated by their own
+        send plan and would pin the percentiles at a constant.
+        """
+        return self.echoes == 0 and len(self.downloads) == 1
+
+
+@dataclass(frozen=True)
+class AppMix:
+    """One window of one subscriber's traffic, by application archetype."""
+
+    name: str
+    web_flows: int = 4
+    web_alpha: float = 1.3
+    web_min_bytes: int = 6_000
+    web_cap_bytes: int = 64_000
+    video_flows: int = 1
+    video_segments: int = 4
+    video_segment_bytes: int = 12_000
+    video_interval: float = 0.45
+    voip_flows: int = 1
+    voip_pps: float = 20.0
+    voip_seconds: float = 1.5
+    voip_bytes: int = 160
+    p2p_flows: int = 6
+    p2p_down_bytes: int = 2_000
+    chunk_bytes: int = 1_200
+
+
+#: The named mixes ``--mix`` selects.  ``residential`` is the default
+#: blend; ``streaming`` shifts bytes into long video flows; ``p2p-heavy``
+#: maximizes connection churn (the CGN port-block stressor).
+MIXES: Dict[str, AppMix] = {
+    "residential": AppMix(name="residential"),
+    "streaming": AppMix(
+        name="streaming",
+        web_flows=2,
+        video_flows=2,
+        video_segments=5,
+        video_segment_bytes=24_000,
+        p2p_flows=2,
+    ),
+    "p2p-heavy": AppMix(
+        name="p2p-heavy",
+        web_flows=2,
+        video_flows=0,
+        p2p_flows=14,
+    ),
+}
+
+MIX_NAMES = tuple(sorted(MIXES))
+
+
+def mix_for(name: str) -> AppMix:
+    """Resolve a mix by name, failing with the available menu."""
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application mix {name!r}; available mixes: {', '.join(MIX_NAMES)}"
+        ) from None
+
+
+def bounded_pareto(rng: random.Random, alpha: float, minimum: int, cap: int) -> int:
+    """One bounded-Pareto draw: heavy-tailed sizes, truncated at ``cap``."""
+    size = minimum * (1.0 - rng.random()) ** (-1.0 / alpha)
+    return int(min(cap, size))
+
+
+def flows_for_subscriber(
+    mix: AppMix,
+    rng: random.Random,
+    window: float,
+    object_port: int,
+    p2p_ports: Tuple[int, ...],
+) -> List[FlowSpec]:
+    """Sample one subscriber's window of flows from ``mix``.
+
+    The draw order is fixed (web, video, voip, p2p), so the schedule is a
+    pure function of the RNG state — the determinism contract's leaf.
+    """
+    flows: List[FlowSpec] = []
+    for _ in range(mix.web_flows):
+        start = rng.uniform(0.0, 0.6 * window)
+        nbytes = bounded_pareto(rng, mix.web_alpha, mix.web_min_bytes, mix.web_cap_bytes)
+        flows.append(
+            FlowSpec(WEB, start, object_port, downloads=((0.0, nbytes),), chunk_bytes=mix.chunk_bytes)
+        )
+    for _ in range(mix.video_flows):
+        start = rng.uniform(0.0, 0.2 * window)
+        requests = tuple(
+            (i * mix.video_interval, mix.video_segment_bytes) for i in range(mix.video_segments)
+        )
+        flows.append(
+            FlowSpec(VIDEO, start, object_port, downloads=requests, chunk_bytes=mix.chunk_bytes)
+        )
+    for _ in range(mix.voip_flows):
+        start = rng.uniform(0.0, 0.3 * window)
+        flows.append(
+            FlowSpec(
+                VOIP,
+                start,
+                object_port,
+                echoes=int(mix.voip_pps * mix.voip_seconds),
+                echo_interval=1.0 / mix.voip_pps,
+                echo_bytes=mix.voip_bytes,
+            )
+        )
+    for _ in range(mix.p2p_flows):
+        start = rng.uniform(0.0, 0.8 * window)
+        port = p2p_ports[rng.randrange(len(p2p_ports))]
+        flows.append(
+            FlowSpec(
+                P2P, start, port, downloads=((0.0, mix.p2p_down_bytes),), chunk_bytes=mix.chunk_bytes
+            )
+        )
+    return flows

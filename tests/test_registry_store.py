@@ -61,7 +61,8 @@ class TestRegistry:
         assert registry.runnable_names() == (
             "udp1", "udp2", "udp3", "udp5", "tcp1", "tcp2", "tcp4",
             "icmp", "transports", "dns", "cgn_timeouts", "cgn_exhaustion",
-            "metro_load", "attack_portflood", "attack_keepalive", "attack_rst",
+            "metro_load", "workload_mix", "fwcost_scaling",
+            "attack_portflood", "attack_keepalive", "attack_rst",
             "traversal_matrix",
         )
         assert "udp4" in registry.family_names()
